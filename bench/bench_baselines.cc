@@ -1,0 +1,195 @@
+// Experiment E5 — weighted voting vs the era's alternatives.
+//
+// Five replicas on a heterogeneous network; a closed-loop client sweeps the
+// read fraction from write-heavy to read-only under each scheme:
+//
+//   voting(2-1-1-1-1)    weighted voting, tuned r=2/w=5... (see code)
+//   rowa                 read-one/write-all as votes (r=1, w=N)
+//   majority(votes)      majority quorums as votes (r=w=3)
+//   majority-consensus   Thomas '79: timestamps, no locks
+//   primary-copy         Stonebraker '79: all ops at the primary
+//   unreplicated         single copy on the nearest server
+//
+// Expected shape: ROWA wins pure reads, collapses as writes appear;
+// majority variants are flat; the weighted assignment tracks the best of
+// both; primary-copy is capped by the primary's distance; unreplicated is
+// the fault-intolerant floor.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/baselines/configs.h"
+#include "src/baselines/majority_consensus.h"
+#include "src/baselines/primary_copy.h"
+#include "src/workload/generator.h"
+
+using namespace wvote;  // NOLINT: bench brevity
+
+namespace {
+
+const Duration kRtt[] = {Duration::Millis(20), Duration::Millis(40), Duration::Millis(80),
+                         Duration::Millis(160), Duration::Millis(320)};
+constexpr int kNumServers = 5;
+
+struct SchemeResult {
+  double read_ms = 0.0;
+  double write_ms = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+std::unique_ptr<Cluster> MakeCluster(uint64_t seed, bool voting_servers) {
+  ClusterOptions copts;
+  copts.seed = seed;
+  copts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
+  copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
+  auto cluster = std::make_unique<Cluster>(copts);
+  if (voting_servers) {
+    for (int i = 0; i < kNumServers; ++i) {
+      cluster->AddRepresentative("srv-" + std::to_string(i));
+    }
+  }
+  return cluster;
+}
+
+void WireClient(Cluster& cluster, const std::string& client_host) {
+  for (int i = 0; i < kNumServers; ++i) {
+    cluster.net().SetSymmetricLink(cluster.net().FindHost(client_host)->id(),
+                                   cluster.net().FindHost("srv-" + std::to_string(i))->id(),
+                                   LatencyModel::Fixed(kRtt[i] / 2));
+  }
+}
+
+SchemeResult RunWorkload(Cluster& cluster, ReplicatedStore* store, double read_fraction) {
+  WorkloadOptions wopts;
+  wopts.read_fraction = read_fraction;
+  wopts.mean_think_time = Duration::Millis(100);
+  wopts.run_length = Duration::Seconds(120);
+  wopts.value_size = 1024;
+  WorkloadStats stats;
+  Spawn(RunClosedLoopClient(&cluster.sim(), store, wopts, 5, &stats));
+  cluster.sim().RunUntil(cluster.sim().Now() + Duration::Seconds(150));
+  SchemeResult out;
+  out.read_ms = stats.read_latency.Mean().ToMillis();
+  out.write_ms = stats.write_latency.Mean().ToMillis();
+  out.ops_per_sec = stats.throughput_per_sec(wopts.run_length);
+  return out;
+}
+
+std::vector<std::string> ServerNames() {
+  std::vector<std::string> names;
+  for (int i = 0; i < kNumServers; ++i) {
+    names.push_back("srv-" + std::to_string(i));
+  }
+  return names;
+}
+
+SchemeResult RunVotingScheme(const SuiteConfig& config, double read_fraction, uint64_t seed) {
+  auto cluster = MakeCluster(seed, true);
+  WVOTE_CHECK(cluster->CreateSuite(config, "initial").ok());
+  SuiteClient* client = cluster->AddClient("client", config);
+  WireClient(*cluster, "client");
+  SuiteStoreAdapter store(client);
+  return RunWorkload(*cluster, &store, read_fraction);
+}
+
+SchemeResult RunPrimaryCopy(double read_fraction, uint64_t seed) {
+  auto cluster = MakeCluster(seed, true);
+  SuiteConfig config = MakeUnreplicatedConfig("bench", "srv-0");
+  WVOTE_CHECK(cluster->CreateSuite(config, "initial").ok());
+  SuiteClient* client = cluster->AddClient("client", config);
+  WireClient(*cluster, "client");
+  std::vector<HostId> backups;
+  for (int i = 1; i < kNumServers; ++i) {
+    backups.push_back(cluster->net().FindHost("srv-" + std::to_string(i))->id());
+  }
+  PrimaryCopyStore store(client, backups, PrimaryCopyReadMode::kPrimary);
+  return RunWorkload(*cluster, &store, read_fraction);
+}
+
+SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
+  // Timestamp servers own their hosts' inboxes, so they get their own hosts.
+  ClusterOptions copts;
+  copts.seed = seed;
+  Cluster cluster(copts);
+  std::vector<std::unique_ptr<TimestampServer>> servers;
+  std::vector<HostId> replicas;
+  for (int i = 0; i < kNumServers; ++i) {
+    Host* host = cluster.net().AddHost("ts-" + std::to_string(i));
+    servers.push_back(std::make_unique<TimestampServer>(
+        &cluster.net(), host, LatencyModel::Fixed(Duration::Micros(500)),
+        LatencyModel::Fixed(Duration::Micros(200))));
+    replicas.push_back(host->id());
+  }
+  Host* client_host = cluster.net().AddHost("client");
+  RpcEndpoint client_rpc(&cluster.net(), client_host);
+  for (int i = 0; i < kNumServers; ++i) {
+    cluster.net().SetSymmetricLink(client_host->id(), replicas[i],
+                                   LatencyModel::Fixed(kRtt[i] / 2));
+  }
+  MajorityConsensusStore store(&client_rpc, "bench", replicas);
+  return RunWorkload(cluster, &store, read_fraction);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: schemes compared across the read/write mix\n");
+  std::printf("5 replicas, client RTTs {20,40,80,160,320}ms, closed loop, 120s runs\n\n");
+  std::printf("%-20s", "scheme");
+  for (double rf : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    std::printf(" | %16s=%0.2f", "read_fraction", rf);
+  }
+  std::printf("\n%-20s", "");
+  for (int i = 0; i < 5; ++i) {
+    std::printf(" | %9s %11s", "read ms", "write ms");
+  }
+  std::printf("\n");
+  PrintRule(135);
+
+  struct Scheme {
+    const char* name;
+    SchemeResult (*run)(double, uint64_t);
+  };
+
+  auto run_weighted = [](double rf, uint64_t seed) {
+    SuiteConfig config;
+    config.suite_name = "bench";
+    config.AddRepresentative("srv-0", 2);
+    for (int i = 1; i < kNumServers; ++i) {
+      config.AddRepresentative("srv-" + std::to_string(i), 1);
+    }
+    config.read_quorum = 2;  // srv-0 alone satisfies reads
+    config.write_quorum = 5;
+    return RunVotingScheme(config, rf, seed);
+  };
+  auto run_rowa = [](double rf, uint64_t seed) {
+    return RunVotingScheme(MakeRowaConfig("bench", ServerNames()), rf, seed);
+  };
+  auto run_majority_votes = [](double rf, uint64_t seed) {
+    return RunVotingScheme(MakeMajorityConfig("bench", ServerNames()), rf, seed);
+  };
+  auto run_unreplicated = [](double rf, uint64_t seed) {
+    return RunVotingScheme(MakeUnreplicatedConfig("bench", "srv-0"), rf, seed);
+  };
+
+  const Scheme schemes[] = {
+      {"voting(2-1-1-1-1)", +run_weighted},
+      {"rowa(r=1,w=5)", +run_rowa},
+      {"majority(r=3,w=3)", +run_majority_votes},
+      {"majority-consensus", &RunMajorityConsensus},
+      {"primary-copy", &RunPrimaryCopy},
+      {"unreplicated", +run_unreplicated},
+  };
+
+  for (const Scheme& scheme : schemes) {
+    std::printf("%-20s", scheme.name);
+    uint64_t seed = 1;
+    for (double rf : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+      SchemeResult res = scheme.run(rf, seed++);
+      std::printf(" | %7.1fms %9.1fms", res.read_ms, res.write_ms);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment E2 — the r/w tuning spectrum.
+//
+// A five-representative suite (one vote each) on a heterogeneous network.
+// Sweeping every legal (r, w) pair moves the suite continuously from
+// read-one/write-all (r=1, w=5) to write-optimized (r=5, w... bounded by
+// 2w > V), with majority (r=3, w=3) in the middle. The figure the paper's
+// discussion implies: read latency rises and write latency falls (and read
+// availability falls, write availability rises) as r grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/analysis/model.h"
+
+using namespace wvote;  // NOLINT: bench brevity
+
+namespace {
+
+GiffordExample MakeSpectrumSuite(int r, int w, double availability) {
+  GiffordExample ex;
+  ex.name = "spectrum";
+  const Duration latencies[] = {Duration::Millis(20), Duration::Millis(40),
+                                Duration::Millis(80), Duration::Millis(160),
+                                Duration::Millis(320)};
+  ex.config.suite_name = "spectrum";
+  for (int i = 0; i < 5; ++i) {
+    const std::string host = "srv-" + std::to_string(i);
+    ex.model.reps.push_back(RepModel(host, 1, latencies[i], availability));
+    ex.config.AddRepresentative(host, 1);
+    ex.client_rtt.push_back({host, latencies[i]});
+  }
+  ex.model.read_quorum = ex.config.read_quorum = r;
+  ex.model.write_quorum = ex.config.write_quorum = w;
+  return ex;
+}
+
+}  // namespace
+
+int main() {
+  constexpr double kAvailability = 0.99;
+  std::printf("E2: read/write latency and availability across the (r, w) spectrum\n");
+  std::printf("5 representatives, 1 vote each, client RTTs {20,40,80,160,320}ms, "
+              "availability %.2f\n\n", kAvailability);
+  std::printf("%3s %3s | %12s %12s | %12s %12s | %12s %12s | %s\n", "r", "w", "read(model)",
+              "read(sim)", "write(model)", "write(sim)", "read avail", "write avail", "note");
+  PrintRule(120);
+
+  for (int r = 1; r <= 5; ++r) {
+    for (int w = 1; w <= 5; ++w) {
+      if (r + w <= 5 || 2 * w <= 5) {
+        continue;  // violates quorum intersection
+      }
+      GiffordExample ex = MakeSpectrumSuite(r, w, kAvailability);
+      VotingAnalysis analysis(ex.model);
+
+      ExampleDeployment dep = DeployExample(ex);
+      LatencyHistogram reads = TimeReads(*dep.cluster, dep.client, 30);
+      LatencyHistogram writes = TimeWrites(*dep.cluster, dep.client, 30);
+
+      const char* note = "";
+      if (r == 1 && w == 5) {
+        note = "<- read-one/write-all";
+      } else if (r == 3 && w == 3) {
+        note = "<- majority";
+      }
+      std::printf("%3d %3d | %10.1fms %10.1fms | %10.1fms %10.1fms | %12.6f %12.6f | %s\n", r,
+                  w, analysis.ReadLatencyAllUp(false).ToMillis(), reads.Mean().ToMillis(),
+                  analysis.WriteLatencyAllUp().ToMillis(), writes.Mean().ToMillis(),
+                  analysis.ReadAvailability(), analysis.WriteAvailability(), note);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared helpers for the experiment binaries in bench/.
+//
+// Each bench regenerates one table or figure of the paper's evaluation (see
+// DESIGN.md's experiment index). They print their rows to stdout; the
+// simulation is deterministic, so rows are reproducible bit-for-bit for a
+// given seed.
+
+#ifndef WVOTE_BENCH_BENCH_UTIL_H_
+#define WVOTE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/gifford_examples.h"
+#include "src/core/cluster.h"
+#include "src/workload/histogram.h"
+
+namespace wvote {
+
+struct ExampleDeployment {
+  std::unique_ptr<Cluster> cluster;
+  SuiteClient* client = nullptr;
+};
+
+// Builds a cluster for one of the paper's examples: representatives, the
+// example's client round-trip latencies, suite bootstrap, and one client.
+inline ExampleDeployment DeployExample(const GiffordExample& ex,
+                                       SuiteClientOptions client_options = {},
+                                       uint64_t seed = 42,
+                                       const std::string& initial = "initial contents") {
+  ExampleDeployment out;
+  ClusterOptions opts;
+  opts.seed = seed;
+  opts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
+  opts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
+  out.cluster = std::make_unique<Cluster>(opts);
+  for (const RepresentativeInfo& rep : ex.config.representatives) {
+    if (!rep.weak()) {
+      out.cluster->AddRepresentative(rep.host_name);
+    }
+  }
+  WVOTE_CHECK(out.cluster->CreateSuite(ex.config, initial).ok());
+  out.client = out.cluster->AddClient("client", ex.config, client_options,
+                                      ex.client_has_cache);
+  for (const auto& [host, rtt] : ex.client_rtt) {
+    out.cluster->net().SetSymmetricLink(out.cluster->net().FindHost("client")->id(),
+                                        out.cluster->net().FindHost(host)->id(),
+                                        LatencyModel::Fixed(rtt / 2));
+  }
+  return out;
+}
+
+// Times `n` sequential one-shot reads (or writes) through `client`,
+// returning the latency distribution in simulated time.
+inline LatencyHistogram TimeReads(Cluster& cluster, SuiteClient* client, int n) {
+  LatencyHistogram hist;
+  for (int i = 0; i < n; ++i) {
+    const TimePoint t0 = cluster.sim().Now();
+    Result<std::string> r = cluster.RunTask(client->ReadOnce());
+    WVOTE_CHECK_MSG(r.ok(), "bench read failed");
+    hist.Record(cluster.sim().Now() - t0);
+  }
+  return hist;
+}
+
+inline LatencyHistogram TimeWrites(Cluster& cluster, SuiteClient* client, int n,
+                                   const std::string& payload = "benchmark payload") {
+  LatencyHistogram hist;
+  for (int i = 0; i < n; ++i) {
+    const TimePoint t0 = cluster.sim().Now();
+    Status st = cluster.RunTask(client->WriteOnce(payload + std::to_string(i)));
+    WVOTE_CHECK_MSG(st.ok(), "bench write failed");
+    hist.Record(cluster.sim().Now() - t0);
+  }
+  return hist;
+}
+
+inline void PrintRule(int width = 110) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace wvote
+
+#endif  // WVOTE_BENCH_BENCH_UTIL_H_

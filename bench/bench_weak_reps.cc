@@ -1,0 +1,107 @@
+// Experiment E4 — weak representatives as caches.
+//
+// A client 150ms (RTT) away from the only voting representative reads a
+// 64KiB file under varying update rates. With a weak representative on the
+// client's host, a read whose cached copy is current pays only the version
+// check; the bulk transfer vanishes. As the write fraction grows, hits decay
+// and the benefit shrinks — the crossover the paper's weak-representative
+// discussion predicts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/workload/generator.h"
+
+using namespace wvote;  // NOLINT: bench brevity
+
+namespace {
+
+struct Row {
+  double read_latency_ms;
+  double hit_rate;
+  unsigned long long bytes;
+};
+
+Row RunOne(double write_fraction, bool with_cache) {
+  ClusterOptions copts;
+  copts.seed = 11;
+  copts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
+  copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
+  Cluster cluster(copts);
+  cluster.AddRepresentative("server");
+
+  SuiteConfig config;
+  config.suite_name = "dataset";
+  config.AddRepresentative("server", 1);
+  if (with_cache) {
+    config.AddWeakRepresentative("reader");
+  }
+  config.read_quorum = 1;
+  config.write_quorum = 1;
+  WVOTE_CHECK(cluster.CreateSuite(config, std::string(64 * 1024, 'd')).ok());
+
+  SuiteClient* reader = cluster.AddClient("reader", config, SuiteClientOptions{}, with_cache);
+  SuiteClient* writer = cluster.AddClient("writer", config);
+  cluster.net().SetSymmetricLink(cluster.net().FindHost("reader")->id(),
+                                 cluster.net().FindHost("server")->id(),
+                                 LatencyModel::Fixed(Duration::Millis(75)));
+
+  WorkloadOptions reader_opts;
+  reader_opts.read_fraction = 1.0;
+  reader_opts.mean_think_time = Duration::Millis(200);
+  reader_opts.run_length = Duration::Seconds(120);
+  WorkloadStats reader_stats;
+  SuiteStoreAdapter reader_store(reader);
+
+  WorkloadOptions writer_opts;
+  writer_opts.read_fraction = 1.0 - 1e-9;  // overwritten below
+  writer_opts.read_fraction = 0.0;
+  writer_opts.mean_think_time =
+      write_fraction > 0 ? Duration::Micros(static_cast<int64_t>(200000.0 / write_fraction))
+                         : Duration::Seconds(100000);
+  writer_opts.run_length = Duration::Seconds(120);
+  writer_opts.value_size = 64 * 1024;
+  WorkloadStats writer_stats;
+  SuiteStoreAdapter writer_store(writer);
+
+  cluster.net().ResetStats();
+  Spawn(RunClosedLoopClient(&cluster.sim(), &reader_store, reader_opts, 21, &reader_stats));
+  if (write_fraction > 0) {
+    Spawn(RunClosedLoopClient(&cluster.sim(), &writer_store, writer_opts, 22, &writer_stats));
+  }
+  cluster.sim().RunUntil(cluster.sim().Now() + Duration::Seconds(150));
+
+  Row row{};
+  row.read_latency_ms = reader_stats.read_latency.Mean().ToMillis();
+  const WeakRepStats* cache =
+      with_cache ? &cluster.cache_of("reader")->stats() : nullptr;
+  row.hit_rate = (cache && cache->hits + cache->misses > 0)
+                     ? static_cast<double>(cache->hits) /
+                           static_cast<double>(cache->hits + cache->misses)
+                     : 0.0;
+  row.bytes = cluster.net().stats().bytes_sent;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E4: weak representative (client-side cache) under increasing update rate\n");
+  std::printf("64KiB file, reader 150ms RTT from the voting representative\n\n");
+  std::printf("%-22s | %-34s | %-34s\n", "", "without weak rep", "with weak rep");
+  std::printf("%-22s | %12s %9s %9s | %12s %9s %9s\n", "writes per reader-read", "read mean",
+              "hit rate", "MB sent", "read mean", "hit rate", "MB sent");
+  PrintRule(110);
+
+  for (double wf : {0.0, 0.1, 0.5, 1.0, 2.0}) {
+    Row without = RunOne(wf, false);
+    Row with = RunOne(wf, true);
+    std::printf("%-22.2f | %10.1fms %8.1f%% %8.2fMB | %10.1fms %8.1f%% %8.2fMB\n", wf,
+                without.read_latency_ms, without.hit_rate * 100.0,
+                static_cast<double>(without.bytes) / 1e6, with.read_latency_ms,
+                with.hit_rate * 100.0, static_cast<double>(with.bytes) / 1e6);
+  }
+  std::printf("\nshape check: at low update rates the cache halves read latency and slashes\n"
+              "bytes moved; as updates dominate, hit rate decays and the curves converge.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Dynamic reconfiguration: changing votes and quorums on a live suite.
+//
+// The voting configuration is itself replicated data (the suite prefix), so
+// it can be changed with the same quorum machinery: the new prefix is
+// installed under the OLD configuration's write quorum, atomically with a
+// copy of the current contents at every new member. Clients that still hold
+// the old prefix discover the change on their next version gather and
+// re-fetch it.
+//
+// Scenario: a 3-server suite tuned read-one/write-all is re-tuned to
+// majority quorums when writes become common, then expanded to 5 servers.
+
+#include <cstdio>
+
+#include "src/core/cluster.h"
+
+using namespace wvote;  // NOLINT: example brevity
+
+int main() {
+  Cluster cluster;
+  for (const char* s : {"srv-1", "srv-2", "srv-3", "srv-4", "srv-5"}) {
+    cluster.AddRepresentative(s);
+  }
+
+  // Phase 1: read-optimized (r=1, w=3) over three servers.
+  SuiteConfig v1 = SuiteConfig::MakeUniform("catalog", {"srv-1", "srv-2", "srv-3"},
+                                            /*r=*/1, /*w=*/3);
+  WVOTE_CHECK(cluster.CreateSuite(v1, "catalog v1").ok());
+  SuiteClient* admin = cluster.AddClient("admin", v1);
+  SuiteClient* user = cluster.AddClient("user", v1);  // keeps the OLD prefix
+
+  std::printf("phase 1: %s\n", admin->config().ToString().c_str());
+  WVOTE_CHECK(cluster.RunTask(admin->WriteOnce("catalog v2")).ok());
+
+  // Phase 2: writes became common; move to majority quorums (r=2, w=2).
+  SuiteConfig v2 = SuiteConfig::MakeUniform("catalog", {"srv-1", "srv-2", "srv-3"},
+                                            /*r=*/2, /*w=*/2);
+  Status st = cluster.RunTask(admin->Reconfigure(v2));
+  std::printf("reconfigure to majority: %s\n", st.ToString().c_str());
+  std::printf("phase 2: %s\n", admin->config().ToString().c_str());
+
+  // The stale client discovers the new prefix on its next operation.
+  Result<std::string> read = cluster.RunTask(user->ReadOnce());
+  std::printf("stale client read: %s (now on cfg%llu)\n",
+              read.ok() ? read.value().c_str() : read.status().ToString().c_str(),
+              static_cast<unsigned long long>(user->config().config_version));
+
+  // Phase 3: expand to five servers, heavier weight on the new fast pair.
+  SuiteConfig v3;
+  v3.suite_name = "catalog";
+  v3.AddRepresentative("srv-1", 1);
+  v3.AddRepresentative("srv-2", 1);
+  v3.AddRepresentative("srv-3", 1);
+  v3.AddRepresentative("srv-4", 2);
+  v3.AddRepresentative("srv-5", 2);
+  v3.read_quorum = 3;
+  v3.write_quorum = 5;
+  st = cluster.RunTask(admin->Reconfigure(v3));
+  std::printf("expand to 5 servers: %s\n", st.ToString().c_str());
+  std::printf("phase 3: %s\n", admin->config().ToString().c_str());
+
+  WVOTE_CHECK(cluster.RunTask(admin->WriteOnce("catalog v3, five servers")).ok());
+  read = cluster.RunTask(user->ReadOnce());
+  std::printf("user read: %s\n",
+              read.ok() ? read.value().c_str() : read.status().ToString().c_str());
+
+  // New members hold real copies: the suite now survives srv-1..3 down.
+  for (const char* s : {"srv-1", "srv-2", "srv-3"}) {
+    cluster.net().FindHost(s)->Crash();
+  }
+  read = cluster.RunTask(user->ReadOnce());
+  std::printf("read with srv-1..3 down: %s\n",
+              read.ok() ? read.value().c_str() : read.status().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,210 @@
+// scenario_cli — run an ad-hoc weighted-voting scenario from the command
+// line and print workload statistics.
+//
+// Usage:
+//   scenario_cli [--reps N] [--votes v1,v2,...] [--r R] [--w W]
+//                [--latency-ms l1,l2,...] [--read-fraction F]
+//                [--clients C] [--seconds S] [--value-bytes B]
+//                [--availability P] [--seed X] [--strategy lowest|fewest|broadcast]
+//
+// Examples:
+//   scenario_cli --reps 5 --r 1 --w 5 --read-fraction 0.99
+//   scenario_cli --votes 2,1,1 --r 2 --w 3 --latency-ms 75,100,750
+//   scenario_cli --reps 3 --r 2 --w 2 --availability 0.9 --seconds 300
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/workload/fault_injector.h"
+#include "src/workload/generator.h"
+
+using namespace wvote;  // NOLINT: example brevity
+
+namespace {
+
+std::vector<int> ParseIntList(const std::string& csv) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = csv.size();
+    }
+    out.push_back(std::atoi(csv.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct Args {
+  int reps = 3;
+  std::vector<int> votes;        // default: 1 each
+  int r = 2;
+  int w = 2;
+  std::vector<int> latency_ms;   // default: 10ms each
+  double read_fraction = 0.9;
+  int clients = 2;
+  int seconds = 60;
+  size_t value_bytes = 1024;
+  double availability = 1.0;     // < 1.0 enables crash injection
+  uint64_t seed = 42;
+  QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--reps") {
+      args->reps = std::atoi(next());
+    } else if (flag == "--votes") {
+      args->votes = ParseIntList(next());
+    } else if (flag == "--r") {
+      args->r = std::atoi(next());
+    } else if (flag == "--w") {
+      args->w = std::atoi(next());
+    } else if (flag == "--latency-ms") {
+      args->latency_ms = ParseIntList(next());
+    } else if (flag == "--read-fraction") {
+      args->read_fraction = std::atof(next());
+    } else if (flag == "--clients") {
+      args->clients = std::atoi(next());
+    } else if (flag == "--seconds") {
+      args->seconds = std::atoi(next());
+    } else if (flag == "--value-bytes") {
+      args->value_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (flag == "--availability") {
+      args->availability = std::atof(next());
+    } else if (flag == "--seed") {
+      args->seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (flag == "--strategy") {
+      const std::string s = next();
+      if (s == "lowest") {
+        args->strategy = QuorumStrategy::kLowestLatency;
+      } else if (s == "fewest") {
+        args->strategy = QuorumStrategy::kFewestMessages;
+      } else if (s == "broadcast") {
+        args->strategy = QuorumStrategy::kBroadcast;
+      } else {
+        std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
+        return false;
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  if (!args->votes.empty()) {
+    args->reps = static_cast<int>(args->votes.size());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s [--reps N] [--votes v1,v2,..] [--r R] [--w W]\n"
+                 "          [--latency-ms l1,l2,..] [--read-fraction F] [--clients C]\n"
+                 "          [--seconds S] [--value-bytes B] [--availability P]\n"
+                 "          [--seed X] [--strategy lowest|fewest|broadcast]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  ClusterOptions copts;
+  copts.seed = args.seed;
+  Cluster cluster(copts);
+
+  SuiteConfig config;
+  config.suite_name = "cli";
+  for (int i = 0; i < args.reps; ++i) {
+    const std::string host = "rep-" + std::to_string(i);
+    cluster.AddRepresentative(host);
+    const int votes = i < static_cast<int>(args.votes.size()) ? args.votes[static_cast<size_t>(i)] : 1;
+    config.AddRepresentative(host, votes);
+  }
+  config.read_quorum = args.r;
+  config.write_quorum = args.w;
+  Status valid = config.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "invalid configuration: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+  WVOTE_CHECK(cluster.CreateSuite(config, std::string(args.value_bytes, 'i')).ok());
+
+  std::printf("scenario: %s\n", config.ToString().c_str());
+  std::printf("workload: %d clients, read fraction %.2f, %ds, %zuB values, availability %.2f\n",
+              args.clients, args.read_fraction, args.seconds, args.value_bytes,
+              args.availability);
+
+  SuiteClientOptions client_opts;
+  client_opts.strategy = args.strategy;
+  client_opts.probe_timeout = Duration::Millis(500);
+  client_opts.max_gather_rounds = args.reps + 1;
+
+  const Duration run = Duration::Seconds(args.seconds);
+  std::vector<WorkloadStats> stats(static_cast<size_t>(args.clients));
+  std::vector<std::unique_ptr<SuiteStoreAdapter>> stores;
+  for (int c = 0; c < args.clients; ++c) {
+    SuiteClient* client =
+        cluster.AddClient("client-" + std::to_string(c), config, client_opts);
+    const HostId me = cluster.net().FindHost("client-" + std::to_string(c))->id();
+    for (int i = 0; i < args.reps; ++i) {
+      const Duration rtt = Duration::Millis(
+          i < static_cast<int>(args.latency_ms.size()) ? args.latency_ms[static_cast<size_t>(i)] : 10);
+      cluster.net().SetSymmetricLink(
+          me, cluster.net().FindHost("rep-" + std::to_string(i))->id(),
+          LatencyModel::Fixed(rtt / 2));
+    }
+    stores.push_back(std::make_unique<SuiteStoreAdapter>(client));
+    WorkloadOptions wopts;
+    wopts.read_fraction = args.read_fraction;
+    wopts.mean_think_time = Duration::Millis(100);
+    wopts.run_length = run;
+    wopts.value_size = args.value_bytes;
+    Spawn(RunClosedLoopClient(&cluster.sim(), stores.back().get(), wopts,
+                              args.seed + static_cast<uint64_t>(c) + 1,
+                              &stats[static_cast<size_t>(c)]));
+  }
+
+  if (args.availability < 1.0) {
+    const FaultProfile profile =
+        ProfileForAvailability(args.availability, Duration::Seconds(5));
+    const TimePoint end = cluster.sim().Now() + run;
+    for (int i = 0; i < args.reps; ++i) {
+      Spawn(RunCrashRestartCycle(&cluster.sim(),
+                                 cluster.net().FindHost("rep-" + std::to_string(i)),
+                                 profile.mttf, profile.mttr, end,
+                                 args.seed * 7 + static_cast<uint64_t>(i)));
+    }
+  }
+
+  cluster.sim().RunUntil(cluster.sim().Now() + run + Duration::Seconds(60));
+
+  WorkloadStats total;
+  for (const WorkloadStats& s : stats) {
+    total.MergeFrom(s);
+  }
+  std::printf("\nresults over %ds simulated:\n  %s\n", args.seconds, total.Summary().c_str());
+  std::printf("  throughput: %.1f ops/s\n", total.throughput_per_sec(run));
+  const NetworkStats& net = cluster.net().stats();
+  std::printf("  network: %llu messages, %.2f MB\n",
+              static_cast<unsigned long long>(net.messages_sent),
+              static_cast<double>(net.bytes_sent) / 1e6);
+  return 0;
+}

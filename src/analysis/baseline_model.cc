@@ -1,0 +1,90 @@
+#include "src/analysis/baseline_model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+double BaselineAnalysis::RowaReadAvailability(const SuiteModel& model) {
+  double all_down = 1.0;
+  for (const RepModel& rep : model.reps) {
+    all_down *= 1.0 - rep.availability;
+  }
+  return 1.0 - all_down;
+}
+
+double BaselineAnalysis::RowaWriteAvailability(const SuiteModel& model) {
+  double all_up = 1.0;
+  for (const RepModel& rep : model.reps) {
+    all_up *= rep.availability;
+  }
+  return all_up;
+}
+
+Duration BaselineAnalysis::RowaReadLatencyAllUp(const SuiteModel& model) {
+  WVOTE_CHECK(!model.reps.empty());
+  Duration best = model.reps.front().latency;
+  for (const RepModel& rep : model.reps) {
+    best = std::min(best, rep.latency);
+  }
+  return best;
+}
+
+Duration BaselineAnalysis::RowaWriteLatencyAllUp(const SuiteModel& model) {
+  WVOTE_CHECK(!model.reps.empty());
+  Duration worst = Duration::Zero();
+  for (const RepModel& rep : model.reps) {
+    worst = std::max(worst, rep.latency);
+  }
+  return worst;
+}
+
+double BaselineAnalysis::MajorityAvailability(const SuiteModel& model) {
+  // Equal-vote majority over n replicas: enumerate up-subsets.
+  const size_t n = model.reps.size();
+  const int majority = static_cast<int>(n / 2) + 1;
+  double available = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int up = 0;
+    double prob = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        ++up;
+        prob *= model.reps[i].availability;
+      } else {
+        prob *= 1.0 - model.reps[i].availability;
+      }
+    }
+    if (up >= majority) {
+      available += prob;
+    }
+  }
+  return available;
+}
+
+Duration BaselineAnalysis::MajorityLatencyAllUp(const SuiteModel& model) {
+  // Cheapest majority: take the ceil(n/2 + ...) lowest-latency replicas.
+  std::vector<Duration> latencies;
+  latencies.reserve(model.reps.size());
+  for (const RepModel& rep : model.reps) {
+    latencies.push_back(rep.latency);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const size_t majority = model.reps.size() / 2 + 1;
+  WVOTE_CHECK(majority <= latencies.size());
+  return latencies[majority - 1];
+}
+
+double BaselineAnalysis::PrimaryCopyAvailability(const SuiteModel& model,
+                                                 size_t primary_index) {
+  WVOTE_CHECK(primary_index < model.reps.size());
+  return model.reps[primary_index].availability;
+}
+
+Duration BaselineAnalysis::PrimaryCopyLatency(const SuiteModel& model, size_t primary_index) {
+  WVOTE_CHECK(primary_index < model.reps.size());
+  return model.reps[primary_index].latency;
+}
+
+}  // namespace wvote

@@ -1,0 +1,73 @@
+#include "src/analysis/gifford_examples.h"
+
+namespace wvote {
+
+std::vector<GiffordExample> MakeGiffordExamples(double rep_availability) {
+  std::vector<GiffordExample> examples;
+
+  {
+    GiffordExample ex;
+    ex.name = "Example 1";
+    ex.description =
+        "read-mostly file on one reliable server; weak representatives serve data";
+    ex.model.reps.push_back(RepModel("server-a", 1, Duration::Millis(75), rep_availability));
+    ex.model.read_quorum = 1;
+    ex.model.write_quorum = 1;
+
+    ex.config.suite_name = "example1";
+    ex.config.AddRepresentative("server-a", 1);
+    ex.config.read_quorum = 1;
+    ex.config.write_quorum = 1;
+    ex.client_rtt.push_back({"server-a", Duration::Millis(75)});
+    ex.client_has_cache = true;
+    examples.push_back(std::move(ex));
+  }
+
+  {
+    GiffordExample ex;
+    ex.name = "Example 2";
+    ex.description = "moderate update activity; heavyweight nearby representative";
+    ex.model.reps.push_back(RepModel("server-a", 2, Duration::Millis(75), rep_availability));
+    ex.model.reps.push_back(RepModel("server-b", 1, Duration::Millis(100), rep_availability));
+    ex.model.reps.push_back(RepModel("server-c", 1, Duration::Millis(750), rep_availability));
+    ex.model.read_quorum = 2;
+    ex.model.write_quorum = 3;
+
+    ex.config.suite_name = "example2";
+    ex.config.AddRepresentative("server-a", 2);
+    ex.config.AddRepresentative("server-b", 1);
+    ex.config.AddRepresentative("server-c", 1);
+    ex.config.read_quorum = 2;
+    ex.config.write_quorum = 3;
+    ex.client_rtt.push_back({"server-a", Duration::Millis(75)});
+    ex.client_rtt.push_back({"server-b", Duration::Millis(100)});
+    ex.client_rtt.push_back({"server-c", Duration::Millis(750)});
+    examples.push_back(std::move(ex));
+  }
+
+  {
+    GiffordExample ex;
+    ex.name = "Example 3";
+    ex.description = "read-one/write-all: very high read-to-write ratio across sites";
+    ex.model.reps.push_back(RepModel("server-a", 1, Duration::Millis(75), rep_availability));
+    ex.model.reps.push_back(RepModel("server-b", 1, Duration::Millis(750), rep_availability));
+    ex.model.reps.push_back(RepModel("server-c", 1, Duration::Millis(750), rep_availability));
+    ex.model.read_quorum = 1;
+    ex.model.write_quorum = 3;
+
+    ex.config.suite_name = "example3";
+    ex.config.AddRepresentative("server-a", 1);
+    ex.config.AddRepresentative("server-b", 1);
+    ex.config.AddRepresentative("server-c", 1);
+    ex.config.read_quorum = 1;
+    ex.config.write_quorum = 3;
+    ex.client_rtt.push_back({"server-a", Duration::Millis(75)});
+    ex.client_rtt.push_back({"server-b", Duration::Millis(750)});
+    ex.client_rtt.push_back({"server-c", Duration::Millis(750)});
+    examples.push_back(std::move(ex));
+  }
+
+  return examples;
+}
+
+}  // namespace wvote

@@ -1,0 +1,144 @@
+#include "src/analysis/model.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+int SuiteModel::TotalVotes() const {
+  int total = 0;
+  for (const RepModel& rep : reps) {
+    total += rep.votes;
+  }
+  return total;
+}
+
+Status SuiteModel::Validate() const {
+  if (reps.empty()) {
+    return InvalidArgumentError("no representatives");
+  }
+  if (reps.size() > 25) {
+    return InvalidArgumentError("analytic model supports at most 25 representatives");
+  }
+  const int v = TotalVotes();
+  if (v <= 0) {
+    return InvalidArgumentError("no votes");
+  }
+  if (read_quorum < 1 || write_quorum < 1 || read_quorum + write_quorum <= v ||
+      2 * write_quorum <= v) {
+    return InvalidArgumentError("quorum invariants violated");
+  }
+  for (const RepModel& rep : reps) {
+    if (rep.availability < 0.0 || rep.availability > 1.0) {
+      return InvalidArgumentError("availability out of range for " + rep.name);
+    }
+    if (rep.votes < 0) {
+      return InvalidArgumentError("negative votes for " + rep.name);
+    }
+  }
+  return Status::Ok();
+}
+
+VotingAnalysis::VotingAnalysis(SuiteModel model) : model_(std::move(model)) {
+  WVOTE_CHECK_MSG(model_.Validate().ok(), "invalid suite model");
+  by_latency_.resize(model_.reps.size());
+  for (size_t i = 0; i < by_latency_.size(); ++i) {
+    by_latency_[i] = i;
+  }
+  std::sort(by_latency_.begin(), by_latency_.end(), [this](size_t a, size_t b) {
+    return model_.reps[a].latency < model_.reps[b].latency;
+  });
+}
+
+double VotingAnalysis::QuorumAvailability(int required) const {
+  const size_t n = model_.reps.size();
+  double available = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    int votes = 0;
+    double prob = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) {
+        votes += model_.reps[i].votes;
+        prob *= model_.reps[i].availability;
+      } else {
+        prob *= 1.0 - model_.reps[i].availability;
+      }
+    }
+    if (votes >= required) {
+      available += prob;
+    }
+  }
+  return available;
+}
+
+Duration VotingAnalysis::CheapestQuorumLatency(uint32_t up_mask, int required) const {
+  int votes = 0;
+  Duration worst = Duration::Zero();
+  // Greedy by ascending latency: optimal for minimizing the max member
+  // latency of the quorum.
+  for (size_t idx : by_latency_) {
+    if (!(up_mask & (1u << idx))) {
+      continue;
+    }
+    votes += model_.reps[idx].votes;
+    worst = std::max(worst, model_.reps[idx].latency);
+    if (votes >= required) {
+      return worst;
+    }
+  }
+  return Duration::Infinite();
+}
+
+Duration VotingAnalysis::AllUpQuorumLatency(int required) const {
+  const uint32_t all = (1u << model_.reps.size()) - 1;
+  return CheapestQuorumLatency(all, required);
+}
+
+Duration VotingAnalysis::ReadLatencyAllUp(bool cached_locally) const {
+  const Duration gather = AllUpQuorumLatency(model_.read_quorum);
+  if (gather == Duration::Infinite()) {
+    return gather;
+  }
+  if (cached_locally) {
+    return gather;
+  }
+  // In steady state the cheapest representative is current; the fetch costs
+  // one more round trip to it.
+  Duration cheapest = model_.reps[by_latency_.front()].latency;
+  return gather + cheapest;
+}
+
+Duration VotingAnalysis::WriteLatencyAllUp() const {
+  const Duration gather = AllUpQuorumLatency(model_.write_quorum);
+  if (gather == Duration::Infinite()) {
+    return gather;
+  }
+  // Prepare and commit each take a round trip paced by the slowest quorum
+  // member — the same member that paced the gather.
+  return gather * 3;
+}
+
+Duration VotingAnalysis::ExpectedQuorumLatency(int required) const {
+  const size_t n = model_.reps.size();
+  double available = 0.0;
+  double weighted_us = 0.0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double prob = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      prob *= (mask & (1u << i)) ? model_.reps[i].availability
+                                 : 1.0 - model_.reps[i].availability;
+    }
+    const Duration latency = CheapestQuorumLatency(mask, required);
+    if (latency != Duration::Infinite()) {
+      available += prob;
+      weighted_us += prob * static_cast<double>(latency.ToMicros());
+    }
+  }
+  if (available <= 0.0) {
+    return Duration::Infinite();
+  }
+  return Duration::Micros(static_cast<int64_t>(weighted_us / available));
+}
+
+}  // namespace wvote

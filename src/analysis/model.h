@@ -1,0 +1,88 @@
+// Analytic model of a weighted-voting file suite.
+//
+// Gifford's evaluation characterizes each representative by an access
+// latency and an independent probability of being operational, then derives
+// per-configuration read/write latency and blocking probability. This module
+// computes those quantities exactly by enumerating the 2^N up/down subsets
+// of voting representatives (N is small — suites in the paper have 2-5
+// representatives).
+//
+// Latency model (matches the implementation in src/core):
+//   * a quorum gather costs the maximum latency of its members, and the
+//     client picks the cheapest quorum among operational representatives
+//     (greedy by latency, which is optimal for the max-latency objective);
+//   * a read additionally fetches contents from the cheapest current member
+//     (0 when served from a co-located weak representative).
+
+#ifndef WVOTE_SRC_ANALYSIS_MODEL_H_
+#define WVOTE_SRC_ANALYSIS_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+
+namespace wvote {
+
+struct RepModel {
+  std::string name;
+  int votes = 0;
+  Duration latency;             // client round-trip to this representative
+  double availability = 0.99;   // P(representative operational)
+
+  RepModel() = default;
+  RepModel(std::string n, int v, Duration l, double a)
+      : name(std::move(n)), votes(v), latency(l), availability(a) {}
+};
+
+struct SuiteModel {
+  std::vector<RepModel> reps;   // voting representatives only
+  int read_quorum = 0;
+  int write_quorum = 0;
+
+  int TotalVotes() const;
+  Status Validate() const;  // same invariants as SuiteConfig
+};
+
+class VotingAnalysis {
+ public:
+  explicit VotingAnalysis(SuiteModel model);
+
+  // P(a quorum of `required` votes can be gathered among operational reps).
+  double QuorumAvailability(int required) const;
+  double ReadAvailability() const { return QuorumAvailability(model_.read_quorum); }
+  double WriteAvailability() const { return QuorumAvailability(model_.write_quorum); }
+  double ReadBlockingProbability() const { return 1.0 - ReadAvailability(); }
+  double WriteBlockingProbability() const { return 1.0 - WriteAvailability(); }
+
+  // Gather latency with every representative up: the cheapest quorum's max
+  // member latency. Returns Duration::Infinite() if the quorum is
+  // unreachable even with everyone up.
+  Duration AllUpQuorumLatency(int required) const;
+
+  // End-to-end operation latencies with every representative up, matching
+  // the implementation's phases:
+  //   read  = version gather (r votes) + data fetch from the cheapest
+  //           current member (skipped when a co-located weak representative
+  //           holds the current version);
+  //   write = lock/version gather (w votes) + prepare + commit, each paced
+  //           by the slowest write-quorum member.
+  Duration ReadLatencyAllUp(bool cached_locally) const;
+  Duration WriteLatencyAllUp() const;
+
+  // Expected gather latency conditioned on the quorum being available:
+  // E[cheapest-quorum max latency | enough operational votes].
+  Duration ExpectedQuorumLatency(int required) const;
+
+ private:
+  // Cheapest quorum among the subset of reps flagged up; infinite if none.
+  Duration CheapestQuorumLatency(uint32_t up_mask, int required) const;
+
+  SuiteModel model_;
+  std::vector<size_t> by_latency_;  // rep indices sorted by ascending latency
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_ANALYSIS_MODEL_H_

@@ -1,0 +1,19 @@
+#include "src/baselines/configs.h"
+
+namespace wvote {
+
+SuiteConfig MakeRowaConfig(std::string suite, std::vector<std::string> hosts) {
+  const int n = static_cast<int>(hosts.size());
+  return SuiteConfig::MakeUniform(std::move(suite), std::move(hosts), /*r=*/1, /*w=*/n);
+}
+
+SuiteConfig MakeMajorityConfig(std::string suite, std::vector<std::string> hosts) {
+  const int majority = static_cast<int>(hosts.size()) / 2 + 1;
+  return SuiteConfig::MakeUniform(std::move(suite), std::move(hosts), majority, majority);
+}
+
+SuiteConfig MakeUnreplicatedConfig(std::string suite, std::string host) {
+  return SuiteConfig::MakeUniform(std::move(suite), {std::move(host)}, 1, 1);
+}
+
+}  // namespace wvote

@@ -1,0 +1,29 @@
+// Degenerate vote assignments: the classical schemes as special cases.
+//
+// Gifford's observation: read-one/write-all, majority consensus, and an
+// unreplicated file are all points in weighted voting's configuration space.
+// These factories produce the corresponding SuiteConfigs so the comparison
+// benches run every scheme through the identical machinery.
+
+#ifndef WVOTE_SRC_BASELINES_CONFIGS_H_
+#define WVOTE_SRC_BASELINES_CONFIGS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/suite_config.h"
+
+namespace wvote {
+
+// r=1, w=N over equal votes: cheapest reads, writes need every replica.
+SuiteConfig MakeRowaConfig(std::string suite, std::vector<std::string> hosts);
+
+// r=w=floor(N/2)+1 over equal votes.
+SuiteConfig MakeMajorityConfig(std::string suite, std::vector<std::string> hosts);
+
+// A single copy: votes <1>, r=w=1.
+SuiteConfig MakeUnreplicatedConfig(std::string suite, std::string host);
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_BASELINES_CONFIGS_H_

@@ -1,0 +1,113 @@
+// Majority consensus with timestamps (after Thomas, 1979).
+//
+// The contemporaneous alternative Gifford cites: no locks and no version
+// numbers — every copy carries a timestamp; a write stamps the new value
+// with a globally unique timestamp and is accepted once a majority of
+// replicas has applied it (a replica applies iff the stamp exceeds its
+// stored stamp); a read queries a majority and returns the newest value.
+// Timestamp order, not lock order, serializes writes (last-writer-wins).
+//
+// We implement the standard direct-majority formulation of Thomas's scheme
+// (the original daisy-chains votes among the DBMPs; the quorum and
+// timestamp-resolution behavior — what the comparison measures — is
+// identical).
+//
+// Contrast with weighted voting: equal weights only, majority reads even
+// for read-mostly data, and no transactional read-modify-write.
+
+#ifndef WVOTE_SRC_BASELINES_MAJORITY_CONSENSUS_H_
+#define WVOTE_SRC_BASELINES_MAJORITY_CONSENSUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/rpc/rpc.h"
+#include "src/storage/stable_store.h"
+#include "src/workload/replicated_store.h"
+
+namespace wvote {
+
+// Messages (constructors per the GCC 12 rule in src/sim/task.h).
+struct TsReadReq {
+  std::string name;
+
+  TsReadReq() = default;
+  explicit TsReadReq(std::string n) : name(std::move(n)) {}
+};
+struct TsReadResp {
+  uint64_t timestamp = 0;
+  std::string contents;
+
+  TsReadResp() = default;
+  TsReadResp(uint64_t ts, std::string c) : timestamp(ts), contents(std::move(c)) {}
+  size_t ApproxBytes() const { return 64 + contents.size(); }
+};
+struct TsWriteReq {
+  std::string name;
+  uint64_t timestamp = 0;
+  std::string contents;
+
+  TsWriteReq() = default;
+  TsWriteReq(std::string n, uint64_t ts, std::string c)
+      : name(std::move(n)), timestamp(ts), contents(std::move(c)) {}
+  size_t ApproxBytes() const { return 64 + contents.size(); }
+};
+struct TsWriteResp {
+  bool applied = false;
+
+  TsWriteResp() = default;
+  explicit TsWriteResp(bool a) : applied(a) {}
+};
+
+// One replica of the timestamped store; owns the host's inbox.
+class TimestampServer {
+ public:
+  TimestampServer(Network* net, Host* host,
+                  LatencyModel disk_write = LatencyModel::Fixed(Duration::Millis(10)),
+                  LatencyModel disk_read = LatencyModel::Fixed(Duration::Millis(5)));
+
+  Host* host() { return rpc_.host(); }
+
+  // Committed {timestamp, contents} for tests/invariant checks.
+  std::pair<uint64_t, std::string> Current(const std::string& name) const;
+
+ private:
+  RpcEndpoint rpc_;
+  StableStore store_;
+};
+
+struct MajorityConsensusStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_quorum_failures = 0;
+  uint64_t write_quorum_failures = 0;
+};
+
+// Client: majority reads and majority timestamped writes.
+class MajorityConsensusStore : public ReplicatedStore {
+ public:
+  MajorityConsensusStore(RpcEndpoint* rpc, std::string name, std::vector<HostId> replicas,
+                         Duration rpc_timeout = Duration::Seconds(2));
+
+  Task<Result<std::string>> Read() override;
+  Task<Status> Write(std::string contents) override;
+  const char* SchemeName() const override { return "majority-consensus"; }
+
+  const MajorityConsensusStats& stats() const { return stats_; }
+
+ private:
+  uint64_t NextTimestamp();
+
+  RpcEndpoint* rpc_;
+  std::string name_;
+  std::vector<HostId> replicas_;
+  Duration rpc_timeout_;
+  uint64_t last_ts_ = 0;
+  MajorityConsensusStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_BASELINES_MAJORITY_CONSENSUS_H_

@@ -1,0 +1,73 @@
+#include "src/baselines/primary_copy.h"
+
+#include <utility>
+
+namespace wvote {
+namespace {
+
+Task<void> Propagate(RpcEndpoint* rpc, HostId backup, std::string suite, Version version,
+                     std::string contents, Duration timeout) {
+  RefreshReq req;
+  req.suite = std::move(suite);
+  req.version = version;
+  req.contents = std::move(contents);
+  (void)co_await rpc->Call<RefreshReq, RefreshResp>(backup, std::move(req), timeout);
+}
+
+}  // namespace
+
+PrimaryCopyStore::PrimaryCopyStore(SuiteClient* client, std::vector<HostId> backup_hosts,
+                                   PrimaryCopyReadMode read_mode)
+    : client_(client), backups_(std::move(backup_hosts)), read_mode_(read_mode) {}
+
+Task<Result<std::string>> PrimaryCopyStore::Read() {
+  if (read_mode_ == PrimaryCopyReadMode::kPrimary) {
+    ++stats_.reads_primary;
+    co_return co_await client_->ReadOnce();
+  }
+  ++stats_.reads_backup;
+  if (backups_.empty()) {
+    co_return co_await client_->ReadOnce();
+  }
+  StaleReadReq req(client_->config().suite_name);
+  Result<SuiteReadResp> resp = co_await client_->rpc()->Call<StaleReadReq, SuiteReadResp>(
+      backups_.front(), std::move(req), Duration::Seconds(5));
+  if (!resp.ok()) {
+    co_return resp.status();
+  }
+  if (resp.value().version < last_written_version_) {
+    ++stats_.stale_backup_reads;
+  }
+  co_return std::move(resp.value().contents);
+}
+
+Task<Status> PrimaryCopyStore::Write(std::string contents) {
+  // Transactional install at the primary (single-representative suite), then
+  // deferred propagation to every backup.
+  SuiteTransaction txn = client_->Begin();
+  Result<VersionedValue> current = co_await txn.ReadVersioned();
+  if (!current.ok()) {
+    co_await txn.Abort();
+    co_return current.status();
+  }
+  Status st = txn.Write(contents);
+  if (st.ok()) {
+    st = co_await txn.Commit();
+  } else {
+    co_await txn.Abort();
+  }
+  if (!st.ok()) {
+    co_return st;
+  }
+  ++stats_.writes;
+  const Version installed = current.value().version + 1;
+  last_written_version_ = std::max(last_written_version_, installed);
+  for (HostId backup : backups_) {
+    ++stats_.propagations;
+    Spawn(Propagate(client_->rpc(), backup, client_->config().suite_name, installed,
+                    contents, Duration::Seconds(5)));
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace wvote

@@ -1,0 +1,62 @@
+// Primary-copy replication (Stonebraker, distributed INGRES, 1979).
+//
+// All updates execute transactionally at one designated primary; backups are
+// brought up to date asynchronously (here: via the conditional RefreshReq
+// install, the same mechanism weighted voting uses for stale
+// representatives). Reads either go to the primary (strictly consistent, but
+// the primary is a single point of failure and a bottleneck) or to a chosen
+// backup (cheap but possibly stale).
+//
+// This is the scheme weighted voting's vote/quorum tuning subsumes and
+// improves on for availability: when the primary is down, primary-copy
+// blocks entirely, while a voting configuration can keep serving.
+
+#ifndef WVOTE_SRC_BASELINES_PRIMARY_COPY_H_
+#define WVOTE_SRC_BASELINES_PRIMARY_COPY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/cluster.h"
+#include "src/workload/replicated_store.h"
+
+namespace wvote {
+
+enum class PrimaryCopyReadMode {
+  kPrimary,      // strict: read at the primary
+  kLocalBackup,  // stale-tolerant: lock-free read at the first backup
+};
+
+struct PrimaryCopyStats {
+  uint64_t writes = 0;
+  uint64_t reads_primary = 0;
+  uint64_t reads_backup = 0;
+  uint64_t propagations = 0;
+  uint64_t stale_backup_reads = 0;  // backup read returned an older version
+};
+
+class PrimaryCopyStore : public ReplicatedStore {
+ public:
+  // `client` must be a single-representative suite client whose one voting
+  // representative is the primary (MakeUnreplicatedConfig). `backup_hosts`
+  // receive asynchronous propagation.
+  PrimaryCopyStore(SuiteClient* client, std::vector<HostId> backup_hosts,
+                   PrimaryCopyReadMode read_mode = PrimaryCopyReadMode::kPrimary);
+
+  Task<Result<std::string>> Read() override;
+  Task<Status> Write(std::string contents) override;
+  const char* SchemeName() const override { return "primary-copy"; }
+
+  const PrimaryCopyStats& stats() const { return stats_; }
+
+ private:
+  SuiteClient* client_;
+  std::vector<HostId> backups_;
+  PrimaryCopyReadMode read_mode_;
+  Version last_written_version_ = 0;
+  PrimaryCopyStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_BASELINES_PRIMARY_COPY_H_

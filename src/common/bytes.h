@@ -1,0 +1,120 @@
+// Minimal binary serialization: fixed-width little-endian fields and
+// length-prefixed strings. Used for everything that is "on disk" in the
+// simulated stable storage (file contents, suite prefixes, intention logs),
+// so that recovery code genuinely re-parses bytes rather than sharing live
+// pointers with the pre-crash state.
+
+#ifndef WVOTE_SRC_COMMON_BYTES_H_
+#define WVOTE_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wvote {
+
+class BufferWriter {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  void WriteRaw(const void* p, size_t n) {
+    // Host is little-endian on every supported target; a big-endian port
+    // would byte-swap here.
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+// Reader with explicit failure state: any read past the end (or a bad length
+// prefix) sets failed() and returns zero values, so parsers can check once
+// at the end instead of after every field.
+class BufferReader {
+ public:
+  explicit BufferReader(const std::string& data) : data_(data) {}
+
+  uint8_t ReadU8() {
+    uint8_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint32_t ReadU32() {
+    uint32_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  uint64_t ReadU64() {
+    uint64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  int64_t ReadI64() {
+    int64_t v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  double ReadDouble() {
+    double v = 0;
+    ReadRaw(&v, sizeof(v));
+    return v;
+  }
+  bool ReadBool() { return ReadU8() != 0; }
+
+  std::string ReadString() {
+    const uint32_t n = ReadU32();
+    if (failed_ || pos_ + n > data_.size()) {
+      failed_ = true;
+      return std::string();
+    }
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool failed() const { return failed_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void ReadRaw(void* p, size_t n) {
+    if (failed_ || pos_ + n > data_.size()) {
+      failed_ = true;
+      std::memset(p, 0, n);
+      return;
+    }
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// FNV-1a 64-bit hash; checksums for the stable-storage slot headers.
+inline uint64_t Fnv1a64(const std::string& data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_COMMON_BYTES_H_

@@ -1,0 +1,45 @@
+// Lightweight invariant-checking macros for the wvote library.
+//
+// WVOTE_CHECK fires in every build type; it guards invariants whose violation
+// means the process state is no longer trustworthy (quorum math, storage
+// atomicity, event-queue ordering). WVOTE_DCHECK compiles away in NDEBUG
+// builds and is for expensive sanity checks on hot paths.
+
+#ifndef WVOTE_SRC_COMMON_CHECK_H_
+#define WVOTE_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wvote {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace wvote
+
+#define WVOTE_CHECK(expr)                                 \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::wvote::CheckFailed(__FILE__, __LINE__, #expr);    \
+    }                                                     \
+  } while (0)
+
+#define WVOTE_CHECK_MSG(expr, msg)                        \
+  do {                                                    \
+    if (!(expr)) {                                        \
+      ::wvote::CheckFailed(__FILE__, __LINE__, msg);      \
+    }                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define WVOTE_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define WVOTE_DCHECK(expr) WVOTE_CHECK(expr)
+#endif
+
+#endif  // WVOTE_SRC_COMMON_CHECK_H_

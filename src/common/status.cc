@@ -1,0 +1,71 @@
+#include "src/common/status.h"
+
+namespace wvote {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimeout:
+      return "TIMEOUT";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kConflict:
+      return "CONFLICT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = StatusCodeName(code_);
+  if (message_[0] != '\0') {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status UnavailableError(const std::string& message) {
+  return Status(StatusCode::kUnavailable, message);
+}
+Status TimeoutError(const std::string& message) {
+  return Status(StatusCode::kTimeout, message);
+}
+Status AbortedError(const std::string& message) {
+  return Status(StatusCode::kAborted, message);
+}
+Status ConflictError(const std::string& message) {
+  return Status(StatusCode::kConflict, message);
+}
+Status NotFoundError(const std::string& message) {
+  return Status(StatusCode::kNotFound, message);
+}
+Status FailedPreconditionError(const std::string& message) {
+  return Status(StatusCode::kFailedPrecondition, message);
+}
+Status InvalidArgumentError(const std::string& message) {
+  return Status(StatusCode::kInvalidArgument, message);
+}
+Status CorruptionError(const std::string& message) {
+  return Status(StatusCode::kCorruption, message);
+}
+Status InternalError(const std::string& message) {
+  return Status(StatusCode::kInternal, message);
+}
+
+}  // namespace wvote

@@ -1,0 +1,19 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace wvote {
+
+std::string Duration::ToString() const {
+  char buf[64];
+  if (micros_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(micros_ / 1000000));
+  } else if (micros_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(micros_ / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(micros_));
+  }
+  return buf;
+}
+
+}  // namespace wvote

@@ -1,0 +1,75 @@
+// Simulated-time primitives.
+//
+// All time in wvote is discrete simulated time measured in microseconds from
+// the start of a run. Strong types keep durations and absolute instants from
+// being mixed up; both are trivially copyable 64-bit values.
+
+#ifndef WVOTE_SRC_COMMON_TIME_H_
+#define WVOTE_SRC_COMMON_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace wvote {
+
+// A span of simulated time. Negative durations are representable (useful as
+// arithmetic intermediates) but never scheduled.
+class Duration {
+ public:
+  constexpr Duration() : micros_(0) {}
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000); }
+  static constexpr Duration Zero() { return Duration(0); }
+  // A deadline far enough out to never fire within a run (~292k years).
+  static constexpr Duration Infinite() { return Duration(INT64_MAX / 2); }
+
+  constexpr int64_t ToMicros() const { return micros_; }
+  constexpr double ToMillis() const { return static_cast<double>(micros_) / 1000.0; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  std::string ToString() const;  // e.g. "75ms", "1.5s", "250us"
+
+  constexpr Duration operator+(Duration other) const { return Duration(micros_ + other.micros_); }
+  constexpr Duration operator-(Duration other) const { return Duration(micros_ - other.micros_); }
+  constexpr Duration operator*(int64_t k) const { return Duration(micros_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(micros_ / k); }
+  Duration& operator+=(Duration other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+ private:
+  explicit constexpr Duration(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+// An absolute instant of simulated time.
+class TimePoint {
+ public:
+  constexpr TimePoint() : micros_(0) {}
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+
+  constexpr int64_t ToMicros() const { return micros_; }
+  constexpr double ToSeconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(micros_ + d.ToMicros());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::Micros(micros_ - other.micros_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+ private:
+  explicit constexpr TimePoint(int64_t us) : micros_(us) {}
+  int64_t micros_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_COMMON_TIME_H_

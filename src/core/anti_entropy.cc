@@ -1,0 +1,62 @@
+#include "src/core/anti_entropy.h"
+
+#include <utility>
+
+namespace wvote {
+
+Task<void> RunAntiEntropy(RepresentativeServer* server, std::string suite,
+                          std::vector<HostId> peers, AntiEntropyOptions options,
+                          AntiEntropyStats* stats) {
+  if (peers.empty()) {
+    co_return;
+  }
+  Simulator* sim = server->rpc().sim();
+  Rng rng = sim->rng().Fork();
+
+  while (sim->Now() < options.stop_at) {
+    // Jittered period so daemons across representatives don't lock-step.
+    const int64_t mean_us = options.interval.ToMicros();
+    co_await sim->Sleep(
+        Duration::Micros(static_cast<int64_t>(rng.NextExponential(
+            static_cast<double>(mean_us)))));
+    if (sim->Now() >= options.stop_at) {
+      break;
+    }
+    if (!server->host()->up()) {
+      continue;  // down hosts don't gossip; retry after the next period
+    }
+    ++stats->rounds;
+
+    const HostId peer = peers[rng.NextBelow(peers.size())];
+    Result<VersionResp> theirs = co_await server->rpc().Call<VersionInquiryReq, VersionResp>(
+        peer, VersionInquiryReq(suite), options.rpc_timeout);
+    if (!theirs.ok()) {
+      continue;  // unreachable peer; correctness unaffected
+    }
+    Result<VersionedValue> mine = server->CurrentValue(suite);
+    const Version my_version = mine.ok() ? mine.value().version : 0;
+
+    if (my_version > theirs.value().version) {
+      // Push: ship our newer copy; the peer installs iff still older.
+      ++stats->pushes;
+      RefreshReq req(suite, my_version, mine.value().contents);
+      (void)co_await server->rpc().Call<RefreshReq, RefreshResp>(peer, std::move(req),
+                                                                 options.rpc_timeout);
+    } else if (my_version < theirs.value().version) {
+      // Pull: fetch the peer's newer copy and install it locally through the
+      // same conditional path a remote refresh would take.
+      ++stats->pulls;
+      Result<SuiteReadResp> data = co_await server->rpc().Call<StaleReadReq, SuiteReadResp>(
+          peer, StaleReadReq(suite), options.rpc_timeout);
+      if (data.ok() && data.value().version > my_version) {
+        RefreshReq install(suite, data.value().version, std::move(data.value().contents));
+        (void)co_await server->rpc().Call<RefreshReq, RefreshResp>(
+            server->host()->id(), std::move(install), options.rpc_timeout);
+      }
+    } else {
+      ++stats->in_sync;
+    }
+  }
+}
+
+}  // namespace wvote

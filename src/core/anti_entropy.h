@@ -1,0 +1,48 @@
+// Anti-entropy: epidemic background convergence between representatives.
+//
+// Client-driven background refresh (SuiteClient) only heals replicas that
+// clients happen to probe. Anti-entropy closes the rest of the gap the way
+// the epidemic literature Gifford's successors cite does: each
+// representative periodically picks a random peer, compares version
+// numbers (lock-free inquiry), and ships its newer copy via the same
+// conditional RefreshReq install that client refresh uses. Version numbers
+// make this unconditionally safe — an installation is accepted only if
+// strictly newer — so anti-entropy can run with any frequency without
+// affecting correctness, only traffic.
+//
+// The daemon runs for a bounded horizon (simulations must drain); deploy it
+// per representative with the suite's peer list.
+
+#ifndef WVOTE_SRC_CORE_ANTI_ENTROPY_H_
+#define WVOTE_SRC_CORE_ANTI_ENTROPY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/representative.h"
+
+namespace wvote {
+
+struct AntiEntropyOptions {
+  Duration interval = Duration::Seconds(5);  // mean gossip period (jittered)
+  Duration rpc_timeout = Duration::Seconds(2);
+  TimePoint stop_at;  // daemon exits at this simulated time
+};
+
+struct AntiEntropyStats {
+  uint64_t rounds = 0;
+  uint64_t pushes = 0;   // newer copy shipped to a peer
+  uint64_t pulls = 0;    // newer copy fetched from a peer
+  uint64_t in_sync = 0;  // versions already matched
+};
+
+// Runs the gossip loop for `suite` on `server`, exchanging with `peers`
+// (host ids of the suite's other voting representatives). `stats` must
+// outlive the task. Spawn() the returned task.
+Task<void> RunAntiEntropy(RepresentativeServer* server, std::string suite,
+                          std::vector<HostId> peers, AntiEntropyOptions options,
+                          AntiEntropyStats* stats);
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_ANTI_ENTROPY_H_

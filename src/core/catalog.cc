@@ -1,0 +1,105 @@
+#include "src/core/catalog.h"
+
+#include <utility>
+
+#include "src/sim/join.h"
+
+namespace wvote {
+namespace {
+
+Task<Result<BootstrapSuiteResp>> SendBootstrap(RpcEndpoint* rpc, HostId host,
+                                               std::string config_bytes,
+                                               std::string initial_bytes, Duration timeout) {
+  BootstrapSuiteReq req(std::move(config_bytes), std::move(initial_bytes));
+  co_return co_await rpc->Call<BootstrapSuiteReq, BootstrapSuiteResp>(host, std::move(req),
+                                                                      timeout);
+}
+
+}  // namespace
+
+Task<Status> SuiteCatalog::Create(SuiteConfig config, std::string initial_contents,
+                                  Duration timeout) {
+  WVOTE_CO_RETURN_IF_ERROR(config.Validate());
+  const std::string config_bytes = config.Serialize();
+  const std::string initial_bytes = VersionedValue{1, std::move(initial_contents)}.Serialize();
+
+  std::vector<Task<Result<BootstrapSuiteResp>>> installs;
+  int targets = 0;
+  for (const RepresentativeInfo& rep : config.representatives) {
+    if (rep.weak()) {
+      continue;  // weak representatives are client-side caches
+    }
+    Host* host = net_->FindHost(rep.host_name);
+    if (host == nullptr) {
+      co_return NotFoundError("no host " + rep.host_name);
+    }
+    ++targets;
+    installs.push_back(
+        SendBootstrap(rpc_, host->id(), config_bytes, initial_bytes, timeout));
+  }
+
+  std::vector<Result<BootstrapSuiteResp>> acks =
+      co_await JoinAll<Result<BootstrapSuiteResp>>(net_->sim(), std::move(installs));
+  int ok = 0;
+  Status failure = Status::Ok();
+  for (const Result<BootstrapSuiteResp>& ack : acks) {
+    if (ack.ok()) {
+      ++ok;
+    } else {
+      failure = ack.status();
+    }
+  }
+  if (ok != targets) {
+    co_return UnavailableError("suite creation reached " + std::to_string(ok) + "/" +
+                               std::to_string(targets) +
+                               " representatives: " + failure.ToString());
+  }
+  co_return Status::Ok();
+}
+
+SuiteClient* SuiteCatalog::Open(const SuiteConfig& config, SuiteClientOptions options) {
+  auto it = open_.find(config.suite_name);
+  if (it != open_.end()) {
+    return it->second.get();
+  }
+  auto client = std::make_unique<SuiteClient>(net_, rpc_, coordinator_, config, options);
+  SuiteClient* raw = client.get();
+  open_[config.suite_name] = std::move(client);
+  return raw;
+}
+
+Task<Result<SuiteClient*>> SuiteCatalog::Discover(std::string suite_name,
+                                                  std::string hint_host,
+                                                  SuiteClientOptions options,
+                                                  Duration timeout) {
+  Host* host = net_->FindHost(hint_host);
+  if (host == nullptr) {
+    co_return NotFoundError("no host " + hint_host);
+  }
+  Result<PrefixReadResp> prefix = co_await rpc_->Call<PrefixReadReq, PrefixReadResp>(
+      host->id(), PrefixReadReq(std::move(suite_name)), timeout);
+  if (!prefix.ok()) {
+    co_return prefix.status();
+  }
+  Result<SuiteConfig> config = SuiteConfig::Parse(prefix.value().config_bytes);
+  if (!config.ok()) {
+    co_return config.status();
+  }
+  WVOTE_CO_RETURN_IF_ERROR(config.value().Validate());
+  SuiteClient* client = Open(config.value(), options);
+  // Adopt anything newer the cluster might hold (the hint host could have
+  // been lagging behind a reconfiguration).
+  WVOTE_CO_RETURN_IF_ERROR(co_await client->RefreshConfigFromPrefix());
+  co_return client;
+}
+
+std::vector<std::string> SuiteCatalog::OpenSuites() const {
+  std::vector<std::string> names;
+  names.reserve(open_.size());
+  for (const auto& [name, client] : open_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace wvote

@@ -1,0 +1,63 @@
+// SuiteCatalog: create, open, and discover file suites at runtime.
+//
+// The Cluster harness bootstraps suites by poking representative storage
+// directly — fine for tests, not how a deployed client works. The catalog
+// does it over the wire:
+//
+//   Create   — validates the configuration and installs the prefix plus
+//              initial contents at every voting representative via the
+//              idempotent BootstrapSuiteReq admin RPC. Creation requires all
+//              members reachable (a suite born degraded would silently have
+//              less redundancy than its votes claim).
+//   Open     — instantiates a SuiteClient for a known configuration; the
+//              catalog owns the client.
+//   Discover — fetches the current prefix from any representative of a
+//              suite known only by name and host hint, then Opens it.
+
+#ifndef WVOTE_SRC_CORE_CATALOG_H_
+#define WVOTE_SRC_CORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/suite_client.h"
+
+namespace wvote {
+
+class SuiteCatalog {
+ public:
+  SuiteCatalog(Network* net, RpcEndpoint* rpc, Coordinator* coordinator)
+      : net_(net), rpc_(rpc), coordinator_(coordinator) {}
+
+  // Installs `config` with `initial_contents` (version 1) at every voting
+  // representative. Fails (kUnavailable) if any member does not acknowledge;
+  // already-installed members acknowledge idempotently, so Create may be
+  // retried after partial failure.
+  Task<Status> Create(SuiteConfig config, std::string initial_contents,
+                      Duration timeout = Duration::Seconds(5));
+
+  // Returns a client for `config`, creating it on first use. The catalog
+  // owns the client; pointers remain valid for the catalog's lifetime.
+  SuiteClient* Open(const SuiteConfig& config, SuiteClientOptions options = {});
+
+  // Fetches the prefix of `suite_name` from `hint_host` (any current or
+  // former representative) and opens a client under it.
+  Task<Result<SuiteClient*>> Discover(std::string suite_name, std::string hint_host,
+                                      SuiteClientOptions options = {},
+                                      Duration timeout = Duration::Seconds(5));
+
+  // Names of suites opened through this catalog.
+  std::vector<std::string> OpenSuites() const;
+
+ private:
+  Network* net_;
+  RpcEndpoint* rpc_;
+  Coordinator* coordinator_;
+  std::map<std::string, std::unique_ptr<SuiteClient>> open_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_CATALOG_H_

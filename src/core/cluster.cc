@@ -1,0 +1,81 @@
+#include "src/core/cluster.h"
+
+#include <utility>
+
+namespace wvote {
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(options), sim_(options.seed), trace_(&sim_), net_(&sim_) {
+  net_.SetDefaultLink(options_.default_link);
+  net_.SetTraceLog(&trace_);
+}
+
+RepresentativeServer* Cluster::AddRepresentative(const std::string& host_name) {
+  WVOTE_CHECK_MSG(reps_.find(host_name) == reps_.end(), "duplicate representative host");
+  Host* host = net_.AddHost(host_name);
+  auto server = std::make_unique<RepresentativeServer>(&net_, host, options_.rep_options);
+  RepresentativeServer* raw = server.get();
+  reps_[host_name] = std::move(server);
+  return raw;
+}
+
+SuiteClient* Cluster::AddClient(const std::string& host_name, const SuiteConfig& config,
+                                SuiteClientOptions client_options, bool with_cache) {
+  auto it = clients_.find(host_name);
+  if (it == clients_.end()) {
+    Host* host = net_.AddHost(host_name);
+    ClientStack stack;
+    stack.rpc = std::make_unique<RpcEndpoint>(&net_, host);
+    stack.store =
+        std::make_unique<StableStore>(&sim_, host, options_.rep_options.disk_write_latency,
+                                      options_.rep_options.disk_read_latency);
+    stack.coordinator = std::make_unique<Coordinator>(stack.rpc.get(), stack.store.get());
+    it = clients_.emplace(host_name, std::move(stack)).first;
+  }
+  ClientStack& stack = it->second;
+  if (with_cache && !stack.cache) {
+    stack.cache = std::make_unique<WeakRepresentative>(stack.rpc->host());
+  }
+  auto client = std::make_unique<SuiteClient>(&net_, stack.rpc.get(), stack.coordinator.get(),
+                                              config, client_options);
+  if (with_cache) {
+    client->AttachCache(stack.cache.get());
+  }
+  SuiteClient* raw = client.get();
+  stack.clients.push_back(std::move(client));
+  return raw;
+}
+
+RepresentativeServer* Cluster::representative(const std::string& host_name) {
+  auto it = reps_.find(host_name);
+  return it == reps_.end() ? nullptr : it->second.get();
+}
+
+WeakRepresentative* Cluster::cache_of(const std::string& client_host_name) {
+  auto it = clients_.find(client_host_name);
+  return it == clients_.end() ? nullptr : it->second.cache.get();
+}
+
+Coordinator* Cluster::coordinator_of(const std::string& client_host_name) {
+  auto it = clients_.find(client_host_name);
+  return it == clients_.end() ? nullptr : it->second.coordinator.get();
+}
+
+Status Cluster::CreateSuite(const SuiteConfig& config, const std::string& initial_contents) {
+  WVOTE_RETURN_IF_ERROR(config.Validate());
+  VersionedValue initial{1, initial_contents};
+  for (const RepresentativeInfo& rep : config.representatives) {
+    if (rep.weak()) {
+      continue;  // weak representatives are client-side caches, not servers
+    }
+    RepresentativeServer* server = representative(rep.host_name);
+    if (server == nullptr) {
+      return NotFoundError("no representative server on host " + rep.host_name);
+    }
+    Status st = RunTask(server->BootstrapSuite(config, initial));
+    WVOTE_RETURN_IF_ERROR(st);
+  }
+  return Status::Ok();
+}
+
+}  // namespace wvote

@@ -1,0 +1,105 @@
+// Cluster: one-call deployment of a weighted-voting system in simulation.
+//
+// Owns the simulator and network and wires up representative servers and
+// client stacks (RPC endpoint + stable store + 2PC coordinator + suite
+// client + optional weak-representative cache). Mirrors the shape of
+// Gifford's deployment: file servers holding representatives, client
+// machines running the voting algorithm.
+
+#ifndef WVOTE_SRC_CORE_CLUSTER_H_
+#define WVOTE_SRC_CORE_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/representative.h"
+#include "src/core/suite_client.h"
+#include "src/core/weak_rep.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace.h"
+
+namespace wvote {
+
+struct ClusterOptions {
+  uint64_t seed = 42;
+  LatencyModel default_link = LatencyModel::Fixed(Duration::Millis(5));
+  RepresentativeOptions rep_options;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  TraceLog& trace() { return trace_; }
+
+  // Adds a file-server host running a RepresentativeServer.
+  RepresentativeServer* AddRepresentative(const std::string& host_name);
+
+  // Adds a client host with a full client stack for `config`. If
+  // `with_cache` is true, a weak representative is attached.
+  SuiteClient* AddClient(const std::string& host_name, const SuiteConfig& config,
+                         SuiteClientOptions client_options = {}, bool with_cache = false);
+
+  RepresentativeServer* representative(const std::string& host_name);
+  WeakRepresentative* cache_of(const std::string& client_host_name);
+  Coordinator* coordinator_of(const std::string& client_host_name);
+
+  // Bootstraps `config` (prefix + initial contents, version 1) at every
+  // voting representative. Must be called after the representatives exist.
+  Status CreateSuite(const SuiteConfig& config, const std::string& initial_contents);
+
+  // Pumps the simulation until `task` completes and returns its result.
+  // Aborts if the event queue drains first (the task deadlocked).
+  template <typename T>
+  T RunTask(Task<T> task) {
+    std::optional<T> out;
+    Spawn(CaptureInto(std::move(task), &out));
+    while (!out.has_value() && sim_.StepOne()) {
+    }
+    WVOTE_CHECK_MSG(out.has_value(), "task did not complete (simulation went idle)");
+    return std::move(*out);
+  }
+
+  // Like RunTask but bounded by simulated time; nullopt if the task did not
+  // complete before `limit` elapsed (e.g. blocked by a partition).
+  template <typename T>
+  std::optional<T> RunTaskFor(Task<T> task, Duration limit) {
+    std::optional<T> out;
+    Spawn(CaptureInto(std::move(task), &out));
+    const TimePoint deadline = sim_.Now() + limit;
+    while (!out.has_value() && sim_.Now() <= deadline && sim_.StepOne()) {
+    }
+    return out;
+  }
+
+ private:
+  template <typename T>
+  static Task<void> CaptureInto(Task<T> task, std::optional<T>* out) {
+    out->emplace(co_await std::move(task));
+  }
+
+  struct ClientStack {
+    std::unique_ptr<RpcEndpoint> rpc;
+    std::unique_ptr<StableStore> store;
+    std::unique_ptr<Coordinator> coordinator;
+    std::unique_ptr<WeakRepresentative> cache;
+    std::vector<std::unique_ptr<SuiteClient>> clients;
+  };
+
+  ClusterOptions options_;
+  Simulator sim_;
+  TraceLog trace_;
+  Network net_;
+  std::map<std::string, std::unique_ptr<RepresentativeServer>> reps_;
+  std::map<std::string, ClientStack> clients_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_CLUSTER_H_

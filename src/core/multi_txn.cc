@@ -1,0 +1,115 @@
+#include "src/core/multi_txn.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/txn_state.h"
+
+namespace wvote {
+
+MultiSuiteTransaction::MultiSuiteTransaction(Coordinator* coordinator)
+    : coordinator_(coordinator), txn_(coordinator->Begin()) {}
+
+MultiSuiteTransaction::~MultiSuiteTransaction() {
+  if (!finished_) {
+    // Best-effort cleanup for abandoned transactions, mirroring
+    // SuiteTransaction's destructor.
+    finished_ = true;
+    for (auto& [client, entry] : entries_) {
+      if (entry.state && !entry.state->finished) {
+        Spawn(entry.client->DoAbort(entry.state));
+      }
+    }
+  }
+}
+
+MultiSuiteTransaction::SuiteEntry& MultiSuiteTransaction::EntryFor(SuiteClient* suite) {
+  SuiteEntry& entry = entries_[suite];
+  if (!entry.state) {
+    entry.client = suite;
+    entry.state = std::make_shared<SuiteTransaction::State>();
+    entry.state->client = suite;
+    entry.state->txn = txn_;  // the SAME transaction everywhere
+  }
+  return entry;
+}
+
+Task<Result<std::string>> MultiSuiteTransaction::Read(SuiteClient* suite) {
+  if (finished_) {
+    co_return FailedPreconditionError("transaction already finished");
+  }
+  SuiteEntry& entry = EntryFor(suite);
+  co_return co_await suite->DoRead(entry.state);
+}
+
+Status MultiSuiteTransaction::Write(SuiteClient* suite, std::string contents) {
+  if (finished_) {
+    return FailedPreconditionError("transaction already finished");
+  }
+  EntryFor(suite).state->pending_write = std::move(contents);
+  return Status::Ok();
+}
+
+Task<Status> MultiSuiteTransaction::Commit() {
+  if (finished_) {
+    co_return FailedPreconditionError("transaction already finished");
+  }
+
+  // Phase 0: gather an exclusive write quorum for every written suite. All
+  // gathers share txn_, so wait-die resolves cross-suite lock conflicts.
+  std::map<HostId, std::vector<WriteIntent>> writes;
+  for (auto& [client, entry] : entries_) {
+    if (!entry.state->pending_write) {
+      continue;
+    }
+    Result<SuiteClient::GatherResult> gather =
+        co_await client->Gather(entry.state, client->config().write_quorum,
+                                /*exclusive=*/true);
+    if (!gather.ok()) {
+      co_await Abort();
+      co_return gather.status();
+    }
+    const Version next = gather.value().current + 1;
+    const std::string bytes =
+        VersionedValue{next, *entry.state->pending_write}.Serialize();
+    for (const auto& reply : gather.value().replies) {
+      writes[reply.host].push_back(
+          WriteIntent(SuiteValueKey(client->config().suite_name), bytes));
+    }
+  }
+
+  // Everything we locked anywhere but are not writing gets released.
+  std::set<HostId> release;
+  for (auto& [client, entry] : entries_) {
+    const std::set<HostId> per_suite = entry.state->ReleaseSet();
+    release.insert(per_suite.begin(), per_suite.end());
+    entry.state->finished = true;
+  }
+  std::vector<HostId> read_only;
+  for (HostId host : release) {
+    if (writes.find(host) == writes.end()) {
+      read_only.push_back(host);
+    }
+  }
+
+  finished_ = true;
+  co_return co_await coordinator_->CommitTransaction(txn_, std::move(writes),
+                                                     std::move(read_only));
+}
+
+Task<void> MultiSuiteTransaction::Abort() {
+  if (finished_) {
+    co_return;
+  }
+  finished_ = true;
+  std::set<HostId> release;
+  for (auto& [client, entry] : entries_) {
+    const std::set<HostId> per_suite = entry.state->ReleaseSet();
+    release.insert(per_suite.begin(), per_suite.end());
+    entry.state->finished = true;
+  }
+  std::vector<HostId> targets(release.begin(), release.end());
+  co_await coordinator_->AbortTransaction(txn_, std::move(targets));
+}
+
+}  // namespace wvote

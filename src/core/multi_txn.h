@@ -1,0 +1,67 @@
+// Transactions spanning multiple file suites.
+//
+// Gifford's file servers ran general transactions — a single transaction
+// could read and write several files, each replicated as its own suite with
+// its own vote assignment. MultiSuiteTransaction provides that: one
+// transaction identifier, per-suite quorum gathers under it, and a single
+// two-phase commit across the union of every written suite's quorum, so the
+// updates become visible atomically everywhere.
+//
+// All involved SuiteClients must share one host's stack (same RpcEndpoint
+// and Coordinator); they may describe suites with entirely different
+// representatives, votes, and quorums.
+
+#ifndef WVOTE_SRC_CORE_MULTI_TXN_H_
+#define WVOTE_SRC_CORE_MULTI_TXN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/suite_client.h"
+
+namespace wvote {
+
+class MultiSuiteTransaction {
+ public:
+  // `suites` name the participating clients; keys are only labels for the
+  // caller's convenience (commonly the suite names).
+  explicit MultiSuiteTransaction(Coordinator* coordinator);
+  ~MultiSuiteTransaction();
+
+  MultiSuiteTransaction(MultiSuiteTransaction&&) = default;
+
+  // Quorum read of `suite` within this transaction (read-your-writes and
+  // repeated-read stability per suite, as in SuiteTransaction).
+  Task<Result<std::string>> Read(SuiteClient* suite);
+
+  // Buffers new contents for `suite`; installed atomically with every other
+  // buffered write at Commit.
+  Status Write(SuiteClient* suite, std::string contents);
+
+  // Gathers a write quorum for every written suite, then runs ONE two-phase
+  // commit across the union of their members. Either every suite moves to
+  // its new version or none does.
+  Task<Status> Commit();
+
+  Task<void> Abort();
+
+  bool finished() const { return finished_; }
+
+ private:
+  struct SuiteEntry {
+    SuiteClient* client = nullptr;
+    std::shared_ptr<SuiteTransaction::State> state;
+  };
+
+  SuiteEntry& EntryFor(SuiteClient* suite);
+
+  Coordinator* coordinator_;
+  TxnId txn_;
+  bool finished_ = false;
+  std::map<SuiteClient*, SuiteEntry> entries_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_MULTI_TXN_H_

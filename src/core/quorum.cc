@@ -1,0 +1,77 @@
+#include "src/core/quorum.h"
+
+#include <algorithm>
+
+namespace wvote {
+
+const char* QuorumStrategyName(QuorumStrategy s) {
+  switch (s) {
+    case QuorumStrategy::kLowestLatency:
+      return "lowest-latency";
+    case QuorumStrategy::kFewestMessages:
+      return "fewest-messages";
+    case QuorumStrategy::kBroadcast:
+      return "broadcast";
+  }
+  return "?";
+}
+
+QuorumPlanner::QuorumPlanner(const SuiteConfig& config,
+                             std::function<Duration(const std::string&)> latency_of) {
+  for (size_t i = 0; i < config.representatives.size(); ++i) {
+    const RepresentativeInfo& rep = config.representatives[i];
+    if (rep.weak()) {
+      continue;
+    }
+    voting_.push_back(QuorumCandidate{i, rep.host_name, rep.votes, latency_of(rep.host_name)});
+  }
+}
+
+std::vector<QuorumCandidate> QuorumPlanner::Plan(int required_votes,
+                                                 QuorumStrategy strategy) const {
+  std::vector<QuorumCandidate> plan = voting_;
+  switch (strategy) {
+    case QuorumStrategy::kLowestLatency:
+    case QuorumStrategy::kBroadcast:
+      std::stable_sort(plan.begin(), plan.end(),
+                       [](const QuorumCandidate& a, const QuorumCandidate& b) {
+                         if (a.expected_latency != b.expected_latency) {
+                           return a.expected_latency < b.expected_latency;
+                         }
+                         return a.votes > b.votes;  // more votes per probe first
+                       });
+      break;
+    case QuorumStrategy::kFewestMessages:
+      std::stable_sort(plan.begin(), plan.end(),
+                       [](const QuorumCandidate& a, const QuorumCandidate& b) {
+                         if (a.votes != b.votes) {
+                           return a.votes > b.votes;
+                         }
+                         return a.expected_latency < b.expected_latency;
+                       });
+      break;
+  }
+  return plan;
+}
+
+size_t QuorumPlanner::PrefixCount(const std::vector<QuorumCandidate>& plan,
+                                  int required_votes) {
+  int votes = 0;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    votes += plan[i].votes;
+    if (votes >= required_votes) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+Duration QuorumPlanner::PrefixLatency(const std::vector<QuorumCandidate>& plan, size_t count) {
+  Duration worst = Duration::Zero();
+  for (size_t i = 0; i < count && i < plan.size(); ++i) {
+    worst = std::max(worst, plan[i].expected_latency);
+  }
+  return worst;
+}
+
+}  // namespace wvote

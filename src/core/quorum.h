@@ -1,0 +1,74 @@
+// Quorum planning: which representatives to probe, in what order.
+//
+// A gather of q votes completes when the slowest probed representative
+// answers, so the latency-optimal quorum takes representatives in ascending
+// expected-latency order until their votes sum to q (greedy is optimal for
+// the max-latency objective: any quorum must contain >= k members where k is
+// the greedy prefix length... see quorum_test.cc for the property check).
+//
+// Strategies:
+//   kLowestLatency  — ascending latency (Gifford's "cheapest representatives
+//                     first"); minimizes gather completion time.
+//   kFewestMessages — descending votes (ties by latency); minimizes probe
+//                     count, at a possible latency cost.
+//   kBroadcast      — probe everyone; maximizes tolerance of unexpected
+//                     failures at maximal message cost.
+//
+// The planner returns the full preference order; callers probe a prefix and
+// extend it when members fail to answer.
+
+#ifndef WVOTE_SRC_CORE_QUORUM_H_
+#define WVOTE_SRC_CORE_QUORUM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/core/suite_config.h"
+
+namespace wvote {
+
+enum class QuorumStrategy { kLowestLatency, kFewestMessages, kBroadcast };
+
+const char* QuorumStrategyName(QuorumStrategy s);
+
+// Carries a user-declared constructor per the GCC 12 rule in src/sim/task.h
+// (QuorumCandidate is passed by value into probe coroutines).
+struct QuorumCandidate {
+  size_t rep_index = 0;  // index into SuiteConfig::representatives
+  std::string host_name;
+  int votes = 0;
+  Duration expected_latency;
+
+  QuorumCandidate() = default;
+  QuorumCandidate(size_t index, std::string host, int v, Duration latency)
+      : rep_index(index), host_name(std::move(host)), votes(v), expected_latency(latency) {}
+};
+
+class QuorumPlanner {
+ public:
+  // `latency_of` maps a representative's host name to the client's expected
+  // round-trip cost of probing it.
+  QuorumPlanner(const SuiteConfig& config,
+                std::function<Duration(const std::string&)> latency_of);
+
+  // Full preference order of voting representatives for a gather needing
+  // `required_votes`. Weak representatives are never included.
+  std::vector<QuorumCandidate> Plan(int required_votes, QuorumStrategy strategy) const;
+
+  // Length of the shortest prefix of `plan` whose votes reach
+  // `required_votes`; 0 if the whole plan falls short.
+  static size_t PrefixCount(const std::vector<QuorumCandidate>& plan, int required_votes);
+
+  // Expected completion latency of probing the first `count` entries in
+  // parallel (their max expected latency).
+  static Duration PrefixLatency(const std::vector<QuorumCandidate>& plan, size_t count);
+
+ private:
+  std::vector<QuorumCandidate> voting_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_QUORUM_H_

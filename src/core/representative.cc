@@ -1,0 +1,197 @@
+#include "src/core/representative.h"
+
+#include <utility>
+
+namespace wvote {
+
+RepresentativeServer::RepresentativeServer(Network* net, Host* host,
+                                           RepresentativeOptions options)
+    : net_(net),
+      rpc_(net, host),
+      store_(net->sim(), host, options.disk_write_latency, options.disk_read_latency),
+      participant_(&rpc_, &store_, options.participant) {
+  RegisterHandlers();
+}
+
+Task<Status> RepresentativeServer::BootstrapSuite(SuiteConfig config, VersionedValue initial) {
+  Status st = config.Validate();
+  if (!st.ok()) {
+    co_return st;
+  }
+  st = co_await store_.Write(Participant::DataKey(SuitePrefixKey(config.suite_name)),
+                             config.Serialize());
+  if (!st.ok()) {
+    co_return st;
+  }
+  co_return co_await store_.Write(Participant::DataKey(SuiteValueKey(config.suite_name)),
+                                  initial.Serialize());
+}
+
+Result<VersionedValue> RepresentativeServer::CurrentValue(const std::string& suite) const {
+  Result<std::string> bytes = participant_.PeekCommitted(SuiteValueKey(suite));
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return VersionedValue::Parse(bytes.value());
+}
+
+Result<SuiteConfig> RepresentativeServer::CurrentPrefix(const std::string& suite) const {
+  Result<std::string> bytes = participant_.PeekCommitted(SuitePrefixKey(suite));
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return SuiteConfig::Parse(bytes.value());
+}
+
+VersionResp RepresentativeServer::MakeVersionResp(const std::string& suite) {
+  VersionResp resp;
+  Result<VersionedValue> value = CurrentValue(suite);
+  if (value.ok()) {
+    resp.version = value.value().version;
+  }
+  Result<SuiteConfig> prefix = CurrentPrefix(suite);
+  if (prefix.ok()) {
+    resp.config_version = prefix.value().config_version;
+    for (const RepresentativeInfo& rep : prefix.value().representatives) {
+      if (rep.host_name == rpc_.host()->name()) {
+        resp.votes = rep.votes;
+        break;
+      }
+    }
+  }
+  return resp;
+}
+
+void RepresentativeServer::RegisterHandlers() {
+  rpc_.Handle<TxnVersionReq, VersionResp>(
+      [this](HostId from, TxnVersionReq req) -> Task<Result<VersionResp>> {
+        ++stats_.version_polls;
+        Status st = co_await participant_.Lock(req.txn, SuiteValueKey(req.suite),
+                                               LockMode::kShared);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return MakeVersionResp(req.suite);
+      });
+
+  rpc_.Handle<LockVersionReq, VersionResp>(
+      [this](HostId from, LockVersionReq req) -> Task<Result<VersionResp>> {
+        ++stats_.version_polls;
+        Status st = co_await participant_.Lock(req.txn, SuiteValueKey(req.suite),
+                                               LockMode::kExclusive);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return MakeVersionResp(req.suite);
+      });
+
+  rpc_.Handle<VersionInquiryReq, VersionResp>(
+      [this](HostId from, VersionInquiryReq req) -> Task<Result<VersionResp>> {
+        ++stats_.version_polls;
+        co_return MakeVersionResp(req.suite);
+      });
+
+  rpc_.Handle<TxnReadSuiteReq, SuiteReadResp>(
+      [this](HostId from, TxnReadSuiteReq req) -> Task<Result<SuiteReadResp>> {
+        ++stats_.data_reads;
+        Result<std::string> bytes =
+            co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite));
+        if (!bytes.ok()) {
+          co_return bytes.status();
+        }
+        Result<VersionedValue> value = VersionedValue::Parse(bytes.value());
+        if (!value.ok()) {
+          co_return value.status();
+        }
+        co_return SuiteReadResp{value.value().version, std::move(value.value().contents)};
+      });
+
+  rpc_.Handle<BootstrapSuiteReq, BootstrapSuiteResp>(
+      [this](HostId from, BootstrapSuiteReq req) -> Task<Result<BootstrapSuiteResp>> {
+        Result<SuiteConfig> config = SuiteConfig::Parse(req.config_bytes);
+        if (!config.ok()) {
+          co_return config.status();
+        }
+        Result<VersionedValue> initial = VersionedValue::Parse(req.initial_bytes);
+        if (!initial.ok()) {
+          co_return initial.status();
+        }
+        Result<SuiteConfig> existing = CurrentPrefix(config.value().suite_name);
+        if (existing.ok() &&
+            existing.value().config_version >= config.value().config_version) {
+          co_return BootstrapSuiteResp{false};  // idempotent re-create
+        }
+        Status st = co_await BootstrapSuite(std::move(config.value()),
+                                            std::move(initial.value()));
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return BootstrapSuiteResp{true};
+      });
+
+  rpc_.Handle<StaleReadReq, SuiteReadResp>(
+      [this](HostId from, StaleReadReq req) -> Task<Result<SuiteReadResp>> {
+        ++stats_.data_reads;
+        Result<std::string> bytes =
+            co_await store_.Read(Participant::DataKey(SuiteValueKey(req.suite)));
+        if (!bytes.ok()) {
+          co_return bytes.status();
+        }
+        Result<VersionedValue> value = VersionedValue::Parse(bytes.value());
+        if (!value.ok()) {
+          co_return value.status();
+        }
+        co_return SuiteReadResp{value.value().version, std::move(value.value().contents)};
+      });
+
+  rpc_.Handle<PrefixReadReq, PrefixReadResp>(
+      [this](HostId from, PrefixReadReq req) -> Task<Result<PrefixReadResp>> {
+        Result<std::string> bytes =
+            co_await store_.Read(Participant::DataKey(SuitePrefixKey(req.suite)));
+        if (!bytes.ok()) {
+          co_return bytes.status();
+        }
+        co_return PrefixReadResp{std::move(bytes.value())};
+      });
+
+  rpc_.Handle<RefreshReq, RefreshResp>(
+      [this](HostId from, RefreshReq req) -> Task<Result<RefreshResp>> {
+        // Best-effort conditional install under a short-lived local
+        // transaction so refreshes never cut ahead of client locks. The
+        // refresh transaction gets the oldest possible timestamp: under
+        // wait-die that lets it WAIT for the current holder (typically the
+        // very reader that spawned it, about to release) instead of dying.
+        // It locks a single key, so it can never participate in a deadlock.
+        TxnId txn;
+        txn.timestamp_us = 0;
+        txn.serial = refresh_serial_++;
+        txn.coordinator = rpc_.host_id();
+        const std::string key = SuiteValueKey(req.suite);
+        Status st = co_await participant_.Lock(txn, key, LockMode::kExclusive);
+        if (!st.ok()) {
+          ++stats_.refreshes_skipped;
+          co_return RefreshResp{false};  // busy; refresh is opportunistic
+        }
+        RefreshResp resp;
+        Result<VersionedValue> current = CurrentValue(req.suite);
+        const Version have = current.ok() ? current.value().version : 0;
+        if (req.version > have) {
+          VersionedValue next{req.version, std::move(req.contents)};
+          Status wrote = co_await store_.Write(Participant::DataKey(key), next.Serialize());
+          resp.installed = wrote.ok();
+        }
+        if (resp.installed) {
+          ++stats_.refreshes_installed;
+          if (TraceLog* trace = net_->trace()) {
+            trace->Record(rpc_.host_id(), TraceKind::kRefreshInstalled,
+                          req.suite + " v" + std::to_string(req.version));
+          }
+        } else {
+          ++stats_.refreshes_skipped;
+        }
+        participant_.locks().ReleaseAll(txn);
+        co_return resp;
+      });
+}
+
+}  // namespace wvote

@@ -1,0 +1,77 @@
+// RepresentativeServer: one representative of one or more file suites.
+//
+// Runs on a simulated host. Owns the host's stable storage and transaction
+// participant and serves the weighted-voting RPCs (version polls under S/X
+// locks, data fetch, prefix fetch, lock-free inquiries, and best-effort
+// refresh installs). A single server can hold representatives of many suites
+// — suites are just named durable pages.
+//
+// Version numbers live in the suite's durable value page; polls answer from
+// the committed page state without extra disk latency (a real server keeps
+// the version number in its in-memory header), while full-content reads pay
+// the simulated disk read.
+
+#ifndef WVOTE_SRC_CORE_REPRESENTATIVE_H_
+#define WVOTE_SRC_CORE_REPRESENTATIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/messages.h"
+#include "src/core/suite_config.h"
+#include "src/core/types.h"
+#include "src/rpc/rpc.h"
+#include "src/storage/stable_store.h"
+#include "src/txn/participant.h"
+
+namespace wvote {
+
+struct RepresentativeOptions {
+  LatencyModel disk_write_latency = LatencyModel::Fixed(Duration::Millis(10));
+  LatencyModel disk_read_latency = LatencyModel::Fixed(Duration::Millis(5));
+  ParticipantOptions participant;
+};
+
+struct RepresentativeStats {
+  uint64_t version_polls = 0;
+  uint64_t data_reads = 0;
+  uint64_t refreshes_installed = 0;
+  uint64_t refreshes_skipped = 0;
+};
+
+class RepresentativeServer {
+ public:
+  RepresentativeServer(Network* net, Host* host, RepresentativeOptions options = {});
+
+  Host* host() { return rpc_.host(); }
+  RpcEndpoint& rpc() { return rpc_; }
+  Participant& participant() { return participant_; }
+  StableStore& store() { return store_; }
+  const RepresentativeStats& stats() const { return stats_; }
+
+  // Durably installs a suite's prefix and initial value on this server.
+  // Used at deployment time and when a reconfiguration adds this server.
+  Task<Status> BootstrapSuite(SuiteConfig config, VersionedValue initial);
+
+  // Committed (lock-free) view of this server's copy; for tests and
+  // invariant checks.
+  Result<VersionedValue> CurrentValue(const std::string& suite) const;
+  Result<SuiteConfig> CurrentPrefix(const std::string& suite) const;
+
+ private:
+  void RegisterHandlers();
+
+  // Reads {version, config_version, my votes} from committed pages.
+  VersionResp MakeVersionResp(const std::string& suite);
+
+  Network* net_;
+  RpcEndpoint rpc_;
+  StableStore store_;
+  Participant participant_;
+  RepresentativeStats stats_;
+  uint64_t refresh_serial_ = 1;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_REPRESENTATIVE_H_

@@ -1,0 +1,628 @@
+#include "src/core/suite_client.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/core/txn_state.h"
+#include "src/sim/join.h"
+
+namespace wvote {
+
+namespace {
+
+// User-declared constructor per the GCC 12 rule in src/sim/task.h: this type
+// travels by value through coroutine plumbing (Task payloads, std::function
+// callbacks).
+struct ProbeOutcome {
+  QuorumCandidate candidate;
+  HostId host = kInvalidHost;
+  Result<VersionResp> result;
+
+  ProbeOutcome() : result(TimeoutError("unprobed")) {}
+  ProbeOutcome(QuorumCandidate c, HostId h, Result<VersionResp> r)
+      : candidate(std::move(c)), host(h), result(std::move(r)) {}
+};
+
+Task<ProbeOutcome> SendProbe(RpcEndpoint* rpc, HostId host, QuorumCandidate candidate,
+                             TxnId txn, std::string suite, bool exclusive, Duration timeout) {
+  Result<VersionResp> result =
+      exclusive ? co_await rpc->Call<LockVersionReq, VersionResp>(
+                      host, LockVersionReq{txn, std::move(suite)}, timeout)
+                : co_await rpc->Call<TxnVersionReq, VersionResp>(
+                      host, TxnVersionReq{txn, std::move(suite)}, timeout);
+  co_return ProbeOutcome{std::move(candidate), host, std::move(result)};
+}
+
+// Releases locks acquired by a straggler probe that answered after its
+// transaction already ended.
+Task<void> ReleaseLateLocks(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout) {
+  (void)co_await rpc->Call<AbortReq, Ack>(host, AbortReq{txn}, timeout);
+}
+
+Task<void> SendRefresh(RpcEndpoint* rpc, HostId host, std::string suite, Version version,
+                       std::string contents, Duration timeout) {
+  RefreshReq req;
+  req.suite = std::move(suite);
+  req.version = version;
+  req.contents = std::move(contents);
+  (void)co_await rpc->Call<RefreshReq, RefreshResp>(host, std::move(req), timeout);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SuiteTransaction
+// ---------------------------------------------------------------------------
+
+SuiteTransaction::~SuiteTransaction() {
+  if (state_ && !state_->finished) {
+    Spawn(state_->client->DoAbort(state_));
+  }
+}
+
+Task<Result<std::string>> SuiteTransaction::Read() { return state_->client->DoRead(state_); }
+
+Task<Result<VersionedValue>> SuiteTransaction::ReadVersioned() {
+  std::shared_ptr<State> state = state_;
+  Result<std::string> contents = co_await state->client->DoRead(state);
+  if (!contents.ok()) {
+    co_return contents.status();
+  }
+  if (state->pending_write) {
+    // Version of a buffered write is assigned at commit; report the read
+    // version if we have one, else 0.
+    co_return VersionedValue{state->read_result ? state->read_result->version : 0,
+                             std::move(contents.value())};
+  }
+  WVOTE_CHECK(state->read_result.has_value());
+  co_return VersionedValue{state->read_result->version, std::move(contents.value())};
+}
+
+Status SuiteTransaction::Write(std::string contents) {
+  if (state_->finished) {
+    return FailedPreconditionError("transaction already finished");
+  }
+  state_->pending_write = std::move(contents);
+  return Status::Ok();
+}
+
+Task<Status> SuiteTransaction::Commit() { return state_->client->DoCommit(state_); }
+
+Task<void> SuiteTransaction::Abort() { return state_->client->DoAbort(state_); }
+
+bool SuiteTransaction::finished() const { return !state_ || state_->finished; }
+
+// ---------------------------------------------------------------------------
+// SuiteClient
+// ---------------------------------------------------------------------------
+
+SuiteClient::SuiteClient(Network* net, RpcEndpoint* rpc, Coordinator* coordinator,
+                         SuiteConfig config, SuiteClientOptions options)
+    : net_(net),
+      rpc_(rpc),
+      coordinator_(coordinator),
+      config_(std::move(config)),
+      options_(options) {
+  WVOTE_CHECK_MSG(config_.Validate().ok(), "invalid suite config");
+}
+
+SuiteTransaction SuiteClient::Begin() {
+  auto state = std::make_shared<SuiteTransaction::State>();
+  state->client = this;
+  state->txn = coordinator_->Begin();
+  return SuiteTransaction(std::move(state));
+}
+
+HostId SuiteClient::ResolveHost(const std::string& name) const {
+  Host* host = net_->FindHost(name);
+  WVOTE_CHECK_MSG(host != nullptr, "unknown representative host");
+  return host->id();
+}
+
+Duration SuiteClient::LatencyTo(const std::string& name) const {
+  const HostId there = ResolveHost(name);
+  return net_->ExpectedLatency(rpc_->host_id(), there) +
+         net_->ExpectedLatency(there, rpc_->host_id());
+}
+
+Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
+    std::shared_ptr<SuiteTransaction::State> state, int required_votes, bool exclusive) {
+  QuorumPlanner planner(config_, [this](const std::string& name) { return LatencyTo(name); });
+  const std::vector<QuorumCandidate> plan = planner.Plan(required_votes, options_.strategy);
+
+  GatherResult out;
+  size_t next_candidate = 0;
+
+  for (int round = 0; round < options_.max_gather_rounds && out.votes < required_votes;
+       ++round) {
+    // Choose this round's targets: enough fresh candidates to close the vote
+    // gap (all of them under kBroadcast).
+    std::vector<QuorumCandidate> targets;
+    int planned_votes = out.votes;
+    while (next_candidate < plan.size() &&
+           (options_.strategy == QuorumStrategy::kBroadcast || planned_votes < required_votes)) {
+      targets.push_back(plan[next_candidate]);
+      planned_votes += plan[next_candidate].votes;
+      ++next_candidate;
+    }
+    if (targets.empty()) {
+      break;  // candidate list exhausted
+    }
+    ++stats_.gather_rounds;
+
+    std::vector<Task<ProbeOutcome>> probes;
+    probes.reserve(targets.size());
+    for (QuorumCandidate& candidate : targets) {
+      const HostId host = ResolveHost(candidate.host_name);
+      ++stats_.probes_sent;
+      state->probed.insert(host);
+      probes.push_back(SendProbe(rpc_, host, std::move(candidate), state->txn,
+                                 config_.suite_name, exclusive, options_.probe_timeout));
+    }
+
+    const int base_votes = out.votes;
+    // Named std::function bindings (not bare lambdas) per the GCC 12 rule in
+    // src/sim/task.h.
+    std::function<bool(const std::vector<ProbeOutcome>&)> enough =
+        [base_votes, required_votes](const std::vector<ProbeOutcome>& got) {
+          int votes = base_votes;
+          for (const ProbeOutcome& o : got) {
+            if (o.result.ok()) {
+              votes += o.candidate.votes;
+            }
+          }
+          return votes >= required_votes;
+        };
+    // Stragglers acquired locks after we stopped waiting: track them while
+    // the transaction lives, release them if it is already over.
+    std::function<void(ProbeOutcome)> leftover =
+        [state, rpc = rpc_, timeout = options_.probe_timeout](ProbeOutcome o) {
+          if (!o.result.ok()) {
+            return;
+          }
+          if (state->finished) {
+            Spawn(ReleaseLateLocks(rpc, o.host, state->txn, timeout));
+          } else {
+            state->participants.insert(o.host);
+          }
+        };
+
+    std::vector<ProbeOutcome> outcomes = co_await JoinUntil<ProbeOutcome>(
+        net_->sim(), std::move(probes), std::move(enough), std::move(leftover));
+
+    for (ProbeOutcome& o : outcomes) {
+      if (o.result.ok()) {
+        state->participants.insert(o.host);
+        out.votes += o.candidate.votes;
+        out.current = std::max(out.current, o.result.value().version);
+        out.max_config_version =
+            std::max(out.max_config_version, o.result.value().config_version);
+        out.replies.push_back(ProbeReply{std::move(o.candidate), o.host,
+                                         std::move(o.result.value())});
+      } else if (o.result.status().code() == StatusCode::kConflict) {
+        // Wait-die said die: the whole transaction must abort and retry.
+        ++stats_.conflicts;
+        co_return o.result.status();
+      }
+      // Timeouts and crashes just fail to contribute votes.
+    }
+  }
+
+  if (out.max_config_version > config_.config_version) {
+    co_return FailedPreconditionError("suite configuration is newer than client's");
+  }
+  if (out.votes < required_votes) {
+    ++stats_.unavailable;
+    if (TraceLog* trace = net_->trace()) {
+      trace->Record(rpc_->host_id(), TraceKind::kQuorumFailed,
+                    config_.suite_name + " " + std::to_string(out.votes) + "/" +
+                        std::to_string(required_votes));
+    }
+    co_return UnavailableError("gathered " + std::to_string(out.votes) + "/" +
+                               std::to_string(required_votes) + " votes for " +
+                               config_.suite_name);
+  }
+  co_return out;
+}
+
+Task<Result<SuiteReadResp>> SuiteClient::FetchData(
+    std::shared_ptr<SuiteTransaction::State> state, const GatherResult& gather) {
+  // Current members, cheapest first — Gifford's "read from the best
+  // up-to-date representative".
+  std::vector<const ProbeReply*> members;
+  for (const ProbeReply& r : gather.replies) {
+    if (r.resp.version == gather.current) {
+      members.push_back(&r);
+    }
+  }
+  std::sort(members.begin(), members.end(), [](const ProbeReply* a, const ProbeReply* b) {
+    return a->candidate.expected_latency < b->candidate.expected_latency;
+  });
+
+  for (const ProbeReply* member : members) {
+    Result<SuiteReadResp> data = co_await rpc_->Call<TxnReadSuiteReq, SuiteReadResp>(
+        member->host, TxnReadSuiteReq{state->txn, config_.suite_name}, options_.data_timeout);
+    if (data.ok()) {
+      if (data.value().version != gather.current) {
+        co_return InternalError("representative changed version under our lock");
+      }
+      co_return std::move(data.value());
+    }
+  }
+  co_return UnavailableError("no current representative could serve data");
+}
+
+void SuiteClient::SpawnRefreshes(const GatherResult& gather, Version current,
+                                 std::string contents) {
+  if (!options_.background_refresh || current == 0) {
+    return;
+  }
+  // Representatives that answered with a stale version are refreshed. Under
+  // the broadcast strategy, representatives that did not answer in time are
+  // refreshed too (the install is conditional server-side, so an
+  // already-current straggler ignores it) — this is what lets a recovered
+  // replica catch up from any broadcast reader.
+  std::set<HostId> confirmed_current;
+  for (const ProbeReply& r : gather.replies) {
+    if (r.resp.version >= current) {
+      confirmed_current.insert(r.host);
+    } else {
+      ++stats_.refreshes_spawned;
+      Spawn(SendRefresh(rpc_, r.host, config_.suite_name, current, contents,
+                        options_.data_timeout));
+    }
+  }
+  if (options_.strategy == QuorumStrategy::kBroadcast) {
+    for (const RepresentativeInfo& rep : config_.representatives) {
+      if (rep.weak()) {
+        continue;
+      }
+      const HostId host = ResolveHost(rep.host_name);
+      bool probed_stale = false;
+      for (const ProbeReply& r : gather.replies) {
+        if (r.host == host) {
+          probed_stale = r.resp.version < current;
+          break;
+        }
+      }
+      if (confirmed_current.count(host) == 0 && !probed_stale) {
+        ++stats_.refreshes_spawned;
+        Spawn(SendRefresh(rpc_, host, config_.suite_name, current, contents,
+                          options_.data_timeout));
+      }
+    }
+  }
+}
+
+Task<Result<std::string>> SuiteClient::DoRead(std::shared_ptr<SuiteTransaction::State> state) {
+  if (state->finished) {
+    co_return FailedPreconditionError("transaction already finished");
+  }
+  if (state->pending_write) {
+    co_return *state->pending_write;  // read-your-writes
+  }
+  if (state->read_result) {
+    co_return state->read_result->contents;  // repeated read
+  }
+
+  for (int attempt = 0; attempt <= options_.max_config_retries; ++attempt) {
+    Result<GatherResult> gather = co_await Gather(state, config_.read_quorum, false);
+    if (!gather.ok()) {
+      if (gather.status().code() == StatusCode::kFailedPrecondition) {
+        WVOTE_CO_RETURN_IF_ERROR(co_await RefreshConfigFromPrefix());
+        continue;
+      }
+      co_return gather.status();
+    }
+    ++stats_.reads;
+    const Version current = gather.value().current;
+
+    if (current == 0) {
+      // Never written: reads as empty.
+      state->read_result = VersionedValue{0, ""};
+      co_return std::string();
+    }
+
+    if (cache_ != nullptr) {
+      const std::string* cached = cache_->Lookup(config_.suite_name, current);
+      if (cached != nullptr) {
+        ++stats_.cache_hits;
+        state->read_result = VersionedValue{current, *cached};
+        SpawnRefreshes(gather.value(), current, *cached);
+        co_return *cached;
+      }
+    }
+
+    Result<SuiteReadResp> data = co_await FetchData(state, gather.value());
+    if (!data.ok()) {
+      co_return data.status();
+    }
+    if (cache_ != nullptr) {
+      cache_->Update(config_.suite_name, current, data.value().contents);
+    }
+    SpawnRefreshes(gather.value(), current, data.value().contents);
+    state->read_result = VersionedValue{current, data.value().contents};
+    co_return std::move(data.value().contents);
+  }
+  co_return FailedPreconditionError("configuration kept changing during read");
+}
+
+Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> state) {
+  if (state->finished) {
+    co_return FailedPreconditionError("transaction already finished");
+  }
+
+  if (!state->pending_write) {
+    // Read-only: release locks at every host we may have locked (including
+    // probes that timed out client-side but were granted server-side).
+    state->finished = true;
+    ++stats_.commits;
+    std::set<HostId> release = state->participants;
+    release.insert(state->probed.begin(), state->probed.end());
+    std::vector<HostId> read_only(release.begin(), release.end());
+    co_return co_await coordinator_->CommitTransaction(state->txn, {}, std::move(read_only));
+  }
+
+  for (int attempt = 0; attempt <= options_.max_config_retries; ++attempt) {
+    Result<GatherResult> gather = co_await Gather(state, config_.write_quorum, true);
+    if (!gather.ok()) {
+      if (gather.status().code() == StatusCode::kFailedPrecondition) {
+        WVOTE_CO_RETURN_IF_ERROR(co_await RefreshConfigFromPrefix());
+        continue;
+      }
+      co_await DoAbort(state);
+      co_return gather.status();
+    }
+    ++stats_.writes;
+
+    const Version next = gather.value().current + 1;
+    const std::string bytes = VersionedValue{next, *state->pending_write}.Serialize();
+
+    std::map<HostId, std::vector<WriteIntent>> writes;
+    for (const ProbeReply& r : gather.value().replies) {
+      writes[r.host] = {WriteIntent{SuiteValueKey(config_.suite_name), bytes}};
+    }
+    std::set<HostId> release = state->participants;
+    release.insert(state->probed.begin(), state->probed.end());
+    std::vector<HostId> read_only;
+    for (HostId h : release) {
+      if (writes.find(h) == writes.end()) {
+        read_only.push_back(h);
+      }
+    }
+
+    state->finished = true;
+    Status st = co_await coordinator_->CommitTransaction(state->txn, std::move(writes),
+                                                         std::move(read_only));
+    if (st.ok()) {
+      ++stats_.commits;
+      if (cache_ != nullptr) {
+        cache_->Update(config_.suite_name, next, *state->pending_write);
+      }
+    } else {
+      ++stats_.aborts;
+    }
+    co_return st;
+  }
+  co_await DoAbort(state);
+  co_return FailedPreconditionError("configuration kept changing during commit");
+}
+
+Task<void> SuiteClient::DoAbort(std::shared_ptr<SuiteTransaction::State> state) {
+  if (state->finished) {
+    co_return;
+  }
+  state->finished = true;
+  ++stats_.aborts;
+  std::set<HostId> release = state->participants;
+  release.insert(state->probed.begin(), state->probed.end());
+  std::vector<HostId> targets(release.begin(), release.end());
+  co_await coordinator_->AbortTransaction(state->txn, std::move(targets));
+}
+
+Task<Result<std::string>> SuiteClient::ReadOnce(int retries) {
+  Status last = InternalError("no attempts");
+  for (int i = 0; i < retries; ++i) {
+    SuiteTransaction txn = Begin();
+    Result<std::string> contents = co_await txn.Read();
+    if (contents.ok()) {
+      Status st = co_await txn.Commit();
+      if (st.ok()) {
+        co_return contents;
+      }
+      last = st;
+    } else {
+      last = contents.status();
+      co_await txn.Abort();
+    }
+    if (last.code() != StatusCode::kConflict && last.code() != StatusCode::kAborted &&
+        last.code() != StatusCode::kTimeout) {
+      co_return last;
+    }
+    // Jittered backoff before retrying a conflicted transaction.
+    co_await net_->sim()->Sleep(
+        Duration::Micros(net_->sim()->rng().NextInRange(1000, 20000) * (i + 1)));
+  }
+  co_return last;
+}
+
+Task<Status> SuiteClient::WriteOnce(std::string contents, int retries) {
+  Status last = InternalError("no attempts");
+  for (int i = 0; i < retries; ++i) {
+    SuiteTransaction txn = Begin();
+    Status st = txn.Write(contents);
+    if (st.ok()) {
+      st = co_await txn.Commit();
+    }
+    if (st.ok()) {
+      co_return st;
+    }
+    last = st;
+    if (last.code() != StatusCode::kConflict && last.code() != StatusCode::kAborted &&
+        last.code() != StatusCode::kTimeout) {
+      co_return last;
+    }
+    co_await net_->sim()->Sleep(
+        Duration::Micros(net_->sim()->rng().NextInRange(1000, 20000) * (i + 1)));
+  }
+  co_return last;
+}
+
+Task<Status> SuiteClient::RefreshConfigFromPrefix() {
+  ++stats_.config_refreshes;
+  // Ask every voting representative (lock-free) which prefix version it
+  // holds, then fetch the newest prefix.
+  QuorumPlanner planner(config_, [this](const std::string& name) { return LatencyTo(name); });
+  const std::vector<QuorumCandidate> plan =
+      planner.Plan(config_.TotalVotes(), QuorumStrategy::kBroadcast);
+
+  uint64_t best_version = config_.config_version;
+  HostId best_host = kInvalidHost;
+  for (const QuorumCandidate& candidate : plan) {
+    const HostId host = ResolveHost(candidate.host_name);
+    Result<VersionResp> resp = co_await rpc_->Call<VersionInquiryReq, VersionResp>(
+        host, VersionInquiryReq{config_.suite_name}, options_.probe_timeout);
+    if (resp.ok() && resp.value().config_version > best_version) {
+      best_version = resp.value().config_version;
+      best_host = host;
+    }
+  }
+  if (best_host == kInvalidHost) {
+    co_return Status::Ok();  // nobody has anything newer
+  }
+  Result<PrefixReadResp> prefix = co_await rpc_->Call<PrefixReadReq, PrefixReadResp>(
+      best_host, PrefixReadReq{config_.suite_name}, options_.data_timeout);
+  if (!prefix.ok()) {
+    co_return prefix.status();
+  }
+  Result<SuiteConfig> parsed = SuiteConfig::Parse(prefix.value().config_bytes);
+  if (!parsed.ok()) {
+    co_return parsed.status();
+  }
+  WVOTE_CO_RETURN_IF_ERROR(parsed.value().Validate());
+  if (parsed.value().config_version > config_.config_version) {
+    config_ = std::move(parsed.value());
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> SuiteClient::Reconfigure(SuiteConfig new_config, int retries) {
+  if (new_config.suite_name != config_.suite_name) {
+    co_return InvalidArgumentError("reconfigure must keep the suite name");
+  }
+  WVOTE_CO_RETURN_IF_ERROR(new_config.Validate());
+
+  const int64_t original_timestamp = net_->sim()->Now().ToMicros();
+  Status last = InternalError("no attempts");
+  for (int attempt = 0; attempt < retries; ++attempt) {
+    SuiteConfig candidate = new_config;
+    candidate.config_version = config_.config_version + 1;
+    // Retain the first attempt's timestamp: under wait-die the retry only
+    // ever ages, so it eventually beats the stream of younger transactions.
+    last = co_await TryReconfigure(std::move(candidate),
+                                   coordinator_->BeginAt(original_timestamp));
+    if (last.ok() || (last.code() != StatusCode::kConflict &&
+                      last.code() != StatusCode::kAborted &&
+                      last.code() != StatusCode::kTimeout)) {
+      co_return last;
+    }
+    co_await net_->sim()->Sleep(
+        Duration::Micros(net_->sim()->rng().NextInRange(2000, 30000)));
+  }
+  co_return last;
+}
+
+Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
+  auto state = std::make_shared<SuiteTransaction::State>();
+  state->client = this;
+  state->txn = txn;
+
+  // Write quorum under the OLD configuration (the paper's rule for changing
+  // the prefix).
+  Result<GatherResult> gather = co_await Gather(state, config_.write_quorum, true);
+  if (!gather.ok()) {
+    co_await DoAbort(state);
+    co_return gather.status();
+  }
+
+  // Current contents, needed to initialize members new to the suite.
+  std::string contents;
+  if (gather.value().current > 0) {
+    Result<SuiteReadResp> data = co_await FetchData(state, gather.value());
+    if (!data.ok()) {
+      co_await DoAbort(state);
+      co_return data.status();
+    }
+    contents = std::move(data.value().contents);
+  }
+  const Version next = gather.value().current + 1;
+
+  // Exclusive locks at every new-config member that we do not already hold.
+  std::set<HostId> targets;
+  for (const ProbeReply& r : gather.value().replies) {
+    targets.insert(r.host);
+  }
+  for (const RepresentativeInfo& rep : new_config.representatives) {
+    if (rep.weak()) {
+      continue;  // weak representatives are client-side caches, not servers
+    }
+    const HostId host = ResolveHost(rep.host_name);
+    if (targets.count(host) != 0) {
+      continue;
+    }
+    state->probed.insert(host);
+    Result<VersionResp> locked = co_await rpc_->Call<LockVersionReq, VersionResp>(
+        host, LockVersionReq{state->txn, config_.suite_name}, options_.probe_timeout);
+    if (!locked.ok()) {
+      co_await DoAbort(state);
+      co_return locked.status();
+    }
+    state->participants.insert(host);
+    targets.insert(host);
+  }
+
+  // The new prefix is also written at every target, so it needs its own
+  // exclusive lock (Prepare refuses intents whose keys are unlocked).
+  for (HostId host : targets) {
+    state->probed.insert(host);
+    Result<Ack> locked = co_await rpc_->Call<LockReq, Ack>(
+        host, LockReq{state->txn, SuitePrefixKey(config_.suite_name), LockMode::kExclusive},
+        options_.probe_timeout);
+    if (!locked.ok()) {
+      co_await DoAbort(state);
+      co_return locked.status();
+    }
+  }
+
+  // Atomically install the new prefix and the (re-versioned) current value
+  // at every target.
+  const std::string prefix_bytes = new_config.Serialize();
+  const std::string value_bytes = VersionedValue{next, contents}.Serialize();
+  std::map<HostId, std::vector<WriteIntent>> writes;
+  for (HostId host : targets) {
+    writes[host] = {WriteIntent{SuitePrefixKey(config_.suite_name), prefix_bytes},
+                    WriteIntent{SuiteValueKey(config_.suite_name), value_bytes}};
+  }
+  std::set<HostId> release = state->participants;
+  release.insert(state->probed.begin(), state->probed.end());
+  std::vector<HostId> read_only;
+  for (HostId h : release) {
+    if (writes.find(h) == writes.end()) {
+      read_only.push_back(h);
+    }
+  }
+
+  state->finished = true;
+  Status st = co_await coordinator_->CommitTransaction(state->txn, std::move(writes),
+                                                       std::move(read_only));
+  if (st.ok()) {
+    if (TraceLog* trace = net_->trace()) {
+      trace->Record(rpc_->host_id(), TraceKind::kReconfigured, new_config.ToString());
+    }
+    config_ = std::move(new_config);
+  }
+  co_return st;
+}
+
+}  // namespace wvote

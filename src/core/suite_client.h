@@ -1,0 +1,191 @@
+// SuiteClient: the client half of weighted voting (the paper's algorithm).
+//
+// A transaction on a file suite proceeds exactly as in Gifford '79:
+//
+//  Read:  poll representatives for version numbers under shared locks until
+//         the answered votes reach the read quorum r. The largest version in
+//         the gathered set is the current version (r + w > V guarantees the
+//         set intersects the last write quorum). Serve the data from the
+//         cheapest current representative — or from a weak representative's
+//         cache if its copy is at the current version.
+//
+//  Write: poll under exclusive locks until votes reach the write quorum w.
+//         The new version is (current + 1), where current is the gathered
+//         maximum (2w > V makes this well-defined across writers). Install
+//         the new versioned contents at every gathered member atomically via
+//         two-phase commit.
+//
+//  Both:  stale representatives observed during a gather are brought current
+//         in the background (best-effort refresh); representatives whose
+//         prefix reports a newer configuration trigger a prefix re-fetch and
+//         a retry under the new configuration.
+//
+// Quorum probing is round-based: probe the preferred quorum (by strategy),
+// and widen to fallback representatives when members time out, until the
+// votes are reached or the candidate list is exhausted (UNAVAILABLE).
+
+#ifndef WVOTE_SRC_CORE_SUITE_CLIENT_H_
+#define WVOTE_SRC_CORE_SUITE_CLIENT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/messages.h"
+#include "src/core/quorum.h"
+#include "src/core/suite_config.h"
+#include "src/core/weak_rep.h"
+#include "src/rpc/rpc.h"
+#include "src/txn/coordinator.h"
+
+namespace wvote {
+
+struct SuiteClientOptions {
+  Duration probe_timeout = Duration::Seconds(2);
+  Duration data_timeout = Duration::Seconds(5);
+  QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
+  bool background_refresh = true;
+  int max_gather_rounds = 4;    // probe-widening rounds per gather
+  int max_config_retries = 3;   // prefix-refresh retries per operation
+};
+
+struct SuiteClientStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t cache_hits = 0;
+  uint64_t probes_sent = 0;
+  uint64_t gather_rounds = 0;
+  uint64_t config_refreshes = 0;
+  uint64_t refreshes_spawned = 0;
+  uint64_t unavailable = 0;
+  uint64_t conflicts = 0;
+};
+
+class SuiteClient;
+
+// One transaction against one suite. Obtain from SuiteClient::Begin(); end
+// with Commit() or Abort() (Abort also runs from the destructor as a
+// safety net for abandoned transactions).
+class SuiteTransaction {
+ public:
+  SuiteTransaction(SuiteTransaction&&) = default;
+  SuiteTransaction& operator=(SuiteTransaction&&) = default;
+  ~SuiteTransaction();
+
+  // Quorum read of the suite contents. Repeated reads in one transaction
+  // are served from the first read's result; a read after Write() returns
+  // the buffered new contents.
+  Task<Result<std::string>> Read();
+
+  // Read that also reports the version observed.
+  Task<Result<VersionedValue>> ReadVersioned();
+
+  // Buffers new contents; durable only after Commit(). Whole-file
+  // semantics, as in the paper.
+  Status Write(std::string contents);
+
+  Task<Status> Commit();
+  Task<void> Abort();
+
+  bool finished() const;
+
+ private:
+  friend class SuiteClient;
+  friend class MultiSuiteTransaction;
+  struct State;
+  explicit SuiteTransaction(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+class SuiteClient {
+ public:
+  // `rpc` and `coordinator` live on the client's host. `config` is the
+  // client's (possibly stale) view of the suite prefix.
+  SuiteClient(Network* net, RpcEndpoint* rpc, Coordinator* coordinator, SuiteConfig config,
+              SuiteClientOptions options = {});
+
+  // Attaches a weak representative (cache) on this client's host.
+  void AttachCache(WeakRepresentative* cache) { cache_ = cache; }
+
+  SuiteTransaction Begin();
+
+  // One-shot helpers with bounded retry on lock conflicts: each retry is a
+  // fresh transaction.
+  Task<Result<std::string>> ReadOnce(int retries = 8);
+  Task<Status> WriteOnce(std::string contents, int retries = 8);
+
+  // Reads the current prefix from any representative and adopts it if newer.
+  Task<Status> RefreshConfigFromPrefix();
+
+  // Changes the suite's vote assignment / quorums: installs the new prefix
+  // and the current contents at (old write quorum) ∪ (all new members),
+  // atomically, under the OLD configuration's write rules. Lock conflicts
+  // with concurrent transactions are retried (keeping the first attempt's
+  // timestamp, so wait-die guarantees progress).
+  Task<Status> Reconfigure(SuiteConfig new_config, int retries = 10);
+
+  const SuiteConfig& config() const { return config_; }
+  const SuiteClientStats& stats() const { return stats_; }
+  RpcEndpoint* rpc() { return rpc_; }
+
+ private:
+  friend class SuiteTransaction;
+  friend class MultiSuiteTransaction;
+
+  // Both carry user-declared constructors per the GCC 12 rule in
+  // src/sim/task.h (they travel by value through coroutine machinery).
+  struct ProbeReply {
+    QuorumCandidate candidate;
+    HostId host = kInvalidHost;
+    VersionResp resp;
+
+    ProbeReply() = default;
+    ProbeReply(QuorumCandidate c, HostId h, VersionResp r)
+        : candidate(std::move(c)), host(h), resp(r) {}
+  };
+  struct GatherResult {
+    std::vector<ProbeReply> replies;
+    int votes = 0;
+    Version current = 0;
+    uint64_t max_config_version = 0;
+
+    GatherResult() = default;
+  };
+
+  HostId ResolveHost(const std::string& name) const;
+  Duration LatencyTo(const std::string& name) const;
+
+  // Round-based quorum gather; records every lock-holding representative in
+  // the transaction state (including stragglers that reply late).
+  Task<Result<GatherResult>> Gather(std::shared_ptr<SuiteTransaction::State> state,
+                                    int required_votes, bool exclusive);
+
+  // Fetches contents from the cheapest current member of `gather`.
+  Task<Result<SuiteReadResp>> FetchData(std::shared_ptr<SuiteTransaction::State> state,
+                                        const GatherResult& gather);
+
+  // Best-effort background update of stale representatives.
+  void SpawnRefreshes(const GatherResult& gather, Version current, std::string contents);
+
+  Task<Result<std::string>> DoRead(std::shared_ptr<SuiteTransaction::State> state);
+  Task<Status> DoCommit(std::shared_ptr<SuiteTransaction::State> state);
+  Task<void> DoAbort(std::shared_ptr<SuiteTransaction::State> state);
+  Task<Status> TryReconfigure(SuiteConfig new_config, TxnId txn);
+
+  Network* net_;
+  RpcEndpoint* rpc_;
+  Coordinator* coordinator_;
+  SuiteConfig config_;
+  SuiteClientOptions options_;
+  WeakRepresentative* cache_ = nullptr;
+  SuiteClientStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_SUITE_CLIENT_H_

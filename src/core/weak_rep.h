@@ -1,0 +1,70 @@
+// Weak representative: a zero-vote cached copy of a suite.
+//
+// Gifford's weak representatives hold no votes, so they can never decide
+// currency — but once a read quorum of version numbers establishes the
+// current version, a weak copy at that version can serve the data locally,
+// eliminating the bulk transfer. They are typically placed on (or near) the
+// client's own host.
+//
+// The cache here is volatile (cleared on host crash): correctness never
+// depends on it, only the version check does, and that always comes from
+// voting representatives.
+
+#ifndef WVOTE_SRC_CORE_WEAK_REP_H_
+#define WVOTE_SRC_CORE_WEAK_REP_H_
+
+#include <map>
+#include <string>
+
+#include "src/core/types.h"
+#include "src/net/host.h"
+
+namespace wvote {
+
+struct WeakRepStats {
+  uint64_t hits = 0;     // version-checked local serves
+  uint64_t misses = 0;   // stale or absent; bulk fetch required
+  uint64_t updates = 0;  // entries installed/refreshed
+};
+
+class WeakRepresentative {
+ public:
+  explicit WeakRepresentative(Host* host) : host_(host) {
+    host_->AddCrashListener([this]() { cache_.clear(); });
+  }
+
+  // Returns the cached contents iff the cached version equals
+  // `current_version` as established by a quorum of voting representatives.
+  const std::string* Lookup(const std::string& suite, Version current_version) {
+    auto it = cache_.find(suite);
+    if (it != cache_.end() && it->second.version == current_version) {
+      ++stats_.hits;
+      return &it->second.contents;
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
+
+  // Installs contents observed at `version`; keeps only the newest.
+  void Update(const std::string& suite, Version version, std::string contents) {
+    VersionedValue& entry = cache_[suite];
+    if (version >= entry.version) {
+      entry.version = version;
+      entry.contents = std::move(contents);
+      ++stats_.updates;
+    }
+  }
+
+  void Invalidate(const std::string& suite) { cache_.erase(suite); }
+
+  const WeakRepStats& stats() const { return stats_; }
+
+ private:
+  Host* host_;
+  std::map<std::string, VersionedValue> cache_;
+  WeakRepStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CORE_WEAK_REP_H_

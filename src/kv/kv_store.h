@@ -1,0 +1,87 @@
+// A replicated key-value namespace built on a weighted-voting file suite.
+//
+// Gifford's suites replicate whole files; his system embeds them in a file
+// system with directories. This layer shows how structured storage composes
+// with the voting substrate under those 1979 whole-file semantics: the
+// entire map is one suite, every mutation is a transactional
+// read-modify-write of the suite contents, and atomicity/consistency come
+// entirely from the underlying quorum machinery — Get sees the newest
+// committed map, Put serializes against concurrent Puts via the suite's
+// write locks, and a multi-key batch commits atomically because the map is
+// one versioned object.
+//
+// Conflicts (wait-die aborts under contention) are retried internally with
+// fresh transactions and jittered backoff.
+
+#ifndef WVOTE_SRC_KV_KV_STORE_H_
+#define WVOTE_SRC_KV_KV_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/suite_client.h"
+
+namespace wvote {
+
+struct KvStoreStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t batches = 0;
+  uint64_t cas_failures = 0;
+  uint64_t retries = 0;
+};
+
+class ReplicatedKvStore {
+ public:
+  // `client` provides the backing suite; it should be created (bootstrapped)
+  // with empty contents or a previously serialized map.
+  explicit ReplicatedKvStore(SuiteClient* client, int max_retries = 16)
+      : client_(client), max_retries_(max_retries) {}
+
+  // Point read; nullopt if the key is absent.
+  Task<Result<std::optional<std::string>>> Get(std::string key);
+
+  // Inserts or overwrites one key.
+  Task<Status> Put(std::string key, std::string value);
+
+  // Removes one key (succeeds even if absent).
+  Task<Status> Delete(std::string key);
+
+  // Applies every entry atomically: other clients observe all or none.
+  Task<Status> PutMany(std::vector<std::pair<std::string, std::string>> entries);
+
+  // Compare-and-set: writes `value` iff the key currently holds `expected`
+  // (nullopt = expected absent). Returns kFailedPrecondition on mismatch.
+  Task<Status> CheckAndSet(std::string key, std::optional<std::string> expected,
+                           std::string value);
+
+  // All keys, sorted.
+  Task<Result<std::vector<std::string>>> ListKeys();
+
+  const KvStoreStats& stats() const { return stats_; }
+
+  // Map <-> bytes; exposed for tests and for seeding initial suite contents.
+  static std::string SerializeMap(const std::map<std::string, std::string>& map);
+  static Result<std::map<std::string, std::string>> ParseMap(const std::string& bytes);
+
+ private:
+  // Runs one read-modify-write transaction: `mutate` edits the map in place
+  // and returns OK to commit, or an error to abort (propagated verbatim).
+  // Retries the whole transaction on lock conflicts.
+  Task<Status> Mutate(std::function<Status(std::map<std::string, std::string>&)> mutate);
+
+  // Reads and parses the current map in a read-only transaction.
+  Task<Result<std::map<std::string, std::string>>> Snapshot();
+
+  SuiteClient* client_;
+  int max_retries_;
+  KvStoreStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_KV_KV_STORE_H_

@@ -1,0 +1,30 @@
+// Wire message for the simulated network.
+//
+// Payloads are std::any: the RPC layer (src/rpc) is the only producer and
+// consumer and unpacks them into typed request/response structs. approx_bytes
+// lets higher layers attribute a wire size for traffic accounting without the
+// simulator serializing anything.
+
+#ifndef WVOTE_SRC_NET_MESSAGE_H_
+#define WVOTE_SRC_NET_MESSAGE_H_
+
+#include <any>
+#include <cstdint>
+
+namespace wvote {
+
+// Dense host identifier assigned by Network::AddHost in creation order.
+using HostId = int32_t;
+inline constexpr HostId kInvalidHost = -1;
+
+struct Message {
+  HostId from = kInvalidHost;
+  HostId to = kInvalidHost;
+  uint64_t id = 0;  // unique per network, for tracing
+  size_t approx_bytes = 0;
+  std::any payload;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_NET_MESSAGE_H_

@@ -1,0 +1,147 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+Network::Network(Simulator* sim) : sim_(sim) {
+  default_link_.latency = LatencyModel::Fixed(Duration::Millis(1));
+}
+
+Host* Network::AddHost(const std::string& name) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.push_back(std::make_unique<Host>(id, name, sim_->rng().Fork()));
+  hosts_.back()->SetTraceLog(trace_);
+  return hosts_.back().get();
+}
+
+void Network::SetTraceLog(TraceLog* trace) {
+  trace_ = trace;
+  for (auto& host : hosts_) {
+    host->SetTraceLog(trace);
+  }
+}
+
+Host* Network::host(HostId id) {
+  WVOTE_CHECK(id >= 0 && id < num_hosts());
+  return hosts_[static_cast<size_t>(id)].get();
+}
+
+const Host* Network::host(HostId id) const {
+  WVOTE_CHECK(id >= 0 && id < num_hosts());
+  return hosts_[static_cast<size_t>(id)].get();
+}
+
+Host* Network::FindHost(const std::string& name) {
+  for (auto& h : hosts_) {
+    if (h->name() == name) {
+      return h.get();
+    }
+  }
+  return nullptr;
+}
+
+void Network::SetDefaultLink(LatencyModel latency, double loss_probability) {
+  default_link_ = Link{latency, loss_probability};
+}
+
+void Network::SetLink(HostId from, HostId to, LatencyModel latency, double loss_probability) {
+  link_overrides_[{from, to}] = Link{latency, loss_probability};
+}
+
+void Network::SetSymmetricLink(HostId a, HostId b, LatencyModel latency,
+                               double loss_probability) {
+  SetLink(a, b, latency, loss_probability);
+  SetLink(b, a, latency, loss_probability);
+}
+
+const Network::Link& Network::LinkFor(HostId from, HostId to) const {
+  auto it = link_overrides_.find({from, to});
+  return it != link_overrides_.end() ? it->second : default_link_;
+}
+
+Duration Network::ExpectedLatency(HostId from, HostId to) const {
+  if (from == to) {
+    return Duration::Zero();
+  }
+  return LinkFor(from, to).latency.Mean();
+}
+
+void Network::Partition(const std::vector<std::vector<HostId>>& groups) {
+  partition_group_.assign(hosts_.size(), 0);
+  // Hosts not named in any group share implicit group 0; named groups are
+  // numbered from 1.
+  int group_no = 1;
+  for (const auto& group : groups) {
+    for (HostId id : group) {
+      WVOTE_CHECK(id >= 0 && id < num_hosts());
+      partition_group_[static_cast<size_t>(id)] = group_no;
+    }
+    ++group_no;
+  }
+}
+
+void Network::HealPartition() { partition_group_.clear(); }
+
+bool Network::Reachable(HostId from, HostId to) const {
+  if (partition_group_.empty() || from == to) {
+    return true;
+  }
+  return partition_group_[static_cast<size_t>(from)] ==
+         partition_group_[static_cast<size_t>(to)];
+}
+
+void Network::Send(HostId from, HostId to, std::any payload, size_t approx_bytes) {
+  Host* src = host(from);
+  Host* dst = host(to);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += approx_bytes;
+
+  if (!src->up()) {
+    ++stats_.dropped_source_down;
+    if (trace_ != nullptr) {
+      trace_->Record(from, TraceKind::kMessageDropped, "source down");
+    }
+    return;
+  }
+  if (!Reachable(from, to)) {
+    ++stats_.dropped_partition;
+    if (trace_ != nullptr) {
+      trace_->Record(from, TraceKind::kMessageDropped,
+                     "partitioned from " + host(to)->name());
+    }
+    return;
+  }
+  const Link& link = LinkFor(from, to);
+  if (link.loss_probability > 0.0 && sim_->rng().NextBernoulli(link.loss_probability)) {
+    ++stats_.dropped_loss;
+    if (trace_ != nullptr) {
+      trace_->Record(from, TraceKind::kMessageDropped, "loss");
+    }
+    return;
+  }
+
+  Message msg;
+  msg.from = from;
+  msg.to = to;
+  msg.id = next_message_id_++;
+  msg.approx_bytes = approx_bytes;
+  msg.payload = std::move(payload);
+
+  const Duration delay = (from == to) ? Duration::Zero() : link.latency.Sample(sim_->rng());
+  sim_->Schedule(delay, [this, dst, msg = std::move(msg)]() mutable {
+    if (!dst->up()) {
+      ++stats_.dropped_dest_down;
+      if (trace_ != nullptr) {
+        trace_->Record(dst->id(), TraceKind::kMessageDropped, "destination down");
+      }
+      return;
+    }
+    ++stats_.messages_delivered;
+    dst->Deliver(std::move(msg));
+  });
+}
+
+}  // namespace wvote

@@ -1,0 +1,106 @@
+// Simulated point-to-point network.
+//
+// Models the internetwork of Gifford's prototype: every pair of hosts has a
+// (directed) link with a latency distribution and an independent loss
+// probability. Partitions split hosts into groups; messages between groups
+// are silently dropped, which is exactly the failure mode weighted voting's
+// quorum intersection defends against.
+//
+// Delivery rules:
+//   * a message from a down host is not sent;
+//   * partition membership and loss are evaluated at send time, destination
+//     liveness again at delivery time (a host that crashes mid-flight loses
+//     the message);
+//   * per-link delivery is FIFO when the latency model is fixed; jittered
+//     models may reorder, as real datagram networks do.
+
+#ifndef WVOTE_SRC_NET_NETWORK_H_
+#define WVOTE_SRC_NET_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/host.h"
+#include "src/net/message.h"
+#include "src/sim/latency.h"
+#include "src/sim/simulator.h"
+#include "src/trace/trace.h"
+
+namespace wvote {
+
+struct NetworkStats {
+  uint64_t messages_sent = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t dropped_source_down = 0;
+  uint64_t dropped_dest_down = 0;
+  uint64_t dropped_partition = 0;
+  uint64_t dropped_loss = 0;
+  uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  explicit Network(Simulator* sim);
+
+  // Adds a host; latency of links to/from it defaults to default_link_.
+  Host* AddHost(const std::string& name);
+
+  Host* host(HostId id);
+  const Host* host(HostId id) const;
+  Host* FindHost(const std::string& name);
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Simulator* sim() { return sim_; }
+
+  // Link configuration. Directed overrides take precedence over the default.
+  void SetDefaultLink(LatencyModel latency, double loss_probability = 0.0);
+  void SetLink(HostId from, HostId to, LatencyModel latency, double loss_probability = 0.0);
+  // Convenience: configures both directions.
+  void SetSymmetricLink(HostId a, HostId b, LatencyModel latency, double loss_probability = 0.0);
+
+  // Latency a sender would pay to reach `to` in expectation; used by quorum
+  // selection to rank representatives by access cost.
+  Duration ExpectedLatency(HostId from, HostId to) const;
+
+  // Partitions. Each group is a set of host ids; hosts absent from every
+  // group form one implicit extra group. Messages cross groups only after
+  // HealPartition().
+  void Partition(const std::vector<std::vector<HostId>>& groups);
+  void HealPartition();
+  bool Reachable(HostId from, HostId to) const;
+
+  // Fire-and-forget datagram send. Routing/delivery failures are silent, as
+  // on a real network; reliability is the RPC layer's job.
+  void Send(HostId from, HostId to, std::any payload, size_t approx_bytes = 128);
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetworkStats{}; }
+
+  // Optional protocol tracing; events from hosts and higher layers flow
+  // into the same log. The log must outlive the network.
+  void SetTraceLog(TraceLog* trace);
+  TraceLog* trace() { return trace_; }
+
+ private:
+  struct Link {
+    LatencyModel latency;
+    double loss_probability = 0.0;
+  };
+
+  const Link& LinkFor(HostId from, HostId to) const;
+
+  Simulator* sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  Link default_link_;
+  std::map<std::pair<HostId, HostId>, Link> link_overrides_;
+  std::vector<int> partition_group_;  // empty: fully connected
+  uint64_t next_message_id_ = 1;
+  TraceLog* trace_ = nullptr;
+  NetworkStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_NET_NETWORK_H_

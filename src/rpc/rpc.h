@@ -1,0 +1,203 @@
+// Typed request/response RPC over the simulated network.
+//
+// One RpcEndpoint claims a host's inbox. Services register a coroutine
+// handler per request type (dispatch is by typeid of the payload struct);
+// clients issue Call<Req, Resp>() and await a Result<Resp> that resolves to
+// the response or to a TIMEOUT / ABORTED status.
+//
+// Failure semantics mirror a datagram network with volatile servers:
+//   * lost request or lost reply -> client timeout;
+//   * server crash mid-handler  -> no reply is sent -> client timeout;
+//   * client crash              -> all outstanding calls resolve ABORTED
+//     (their sessions are being torn down anyway).
+//
+// CallWithRetry layers bounded retransmission on top for idempotent
+// requests (version-number inquiries and other reads).
+
+#ifndef WVOTE_SRC_RPC_RPC_H_
+#define WVOTE_SRC_RPC_RPC_H_
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <typeindex>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/net/network.h"
+#include "src/sim/future.h"
+#include "src/sim/task.h"
+
+namespace wvote {
+
+// Wire-size attribution: messages that carry bulk data (file contents)
+// implement ApproxBytes(); everything else is accounted a small constant.
+template <typename T>
+size_t ApproxWireSize(const T& value) {
+  if constexpr (requires { value.ApproxBytes(); }) {
+    return value.ApproxBytes();
+  } else {
+    return 64;
+  }
+}
+
+struct RpcStats {
+  uint64_t calls_started = 0;
+  uint64_t calls_ok = 0;
+  uint64_t calls_timeout = 0;
+  uint64_t calls_aborted = 0;
+  uint64_t requests_handled = 0;
+};
+
+class RpcEndpoint {
+ public:
+  RpcEndpoint(Network* net, Host* host) : net_(net), host_(host) {
+    host_->SetMessageHandler([this](Message msg) { OnMessage(std::move(msg)); });
+    host_->AddCrashListener([this]() { OnCrash(); });
+  }
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  Host* host() { return host_; }
+  HostId host_id() const { return host_->id(); }
+  Network* network() { return net_; }
+  Simulator* sim() { return net_->sim(); }
+  const RpcStats& stats() const { return stats_; }
+
+  // Registers the handler for requests of type Req. The handler runs as a
+  // detached coroutine on this host; its Result is sent back as the reply
+  // unless the host has crashed in the meantime.
+  template <typename Req, typename Resp>
+  void Handle(std::function<Task<Result<Resp>>(HostId, Req)> handler) {
+    auto [it, inserted] = handlers_.emplace(
+        std::type_index(typeid(Req)),
+        [this, handler = std::move(handler)](HostId from, uint64_t call_id, std::any body) {
+          // Bind to a named object before the coroutine call (GCC 12 rule in
+          // src/sim/task.h).
+          Req req = std::any_cast<Req>(std::move(body));
+          Spawn(RunHandler<Req, Resp>(handler, from, call_id, std::move(req)));
+        });
+    WVOTE_CHECK_MSG(inserted, "duplicate RPC handler registration");
+  }
+
+  // Issues one request and awaits the reply or the timeout, whichever comes
+  // first.
+  template <typename Req, typename Resp>
+  Task<Result<Resp>> Call(HostId to, Req req, Duration timeout) {
+    ++stats_.calls_started;
+    if (!host_->up()) {
+      ++stats_.calls_aborted;
+      co_return AbortedError("caller host down");
+    }
+
+    const uint64_t call_id = next_call_id_++;
+    Promise<Result<std::any>> promise(sim());
+    Future<Result<std::any>> future = promise.GetFuture();
+
+    EventHandle timeout_event = sim()->Schedule(timeout, [promise]() mutable {
+      promise.Set(TimeoutError("rpc timeout"));
+    });
+    outstanding_.emplace(call_id, promise);
+
+    Envelope env;
+    env.is_request = true;
+    env.call_id = call_id;
+    env.body = std::move(req);
+    const size_t bytes = ApproxWireSize(std::any_cast<const Req&>(env.body));
+    net_->Send(host_id(), to, std::move(env), bytes);
+
+    Result<std::any> raw = co_await std::move(future);
+    timeout_event.Cancel();
+    outstanding_.erase(call_id);
+
+    if (!raw.ok()) {
+      if (raw.status().code() == StatusCode::kTimeout) {
+        ++stats_.calls_timeout;
+      } else {
+        ++stats_.calls_aborted;
+      }
+      co_return raw.status();
+    }
+    ++stats_.calls_ok;
+    co_return std::any_cast<Result<Resp>>(std::move(raw.value()));
+  }
+
+  // Retransmits an idempotent request up to `attempts` times on timeout.
+  // Non-timeout failures are returned immediately.
+  template <typename Req, typename Resp>
+  Task<Result<Resp>> CallWithRetry(HostId to, Req req, Duration timeout, int attempts) {
+    Result<Resp> last = TimeoutError("no attempts made");
+    for (int i = 0; i < attempts; ++i) {
+      last = co_await Call<Req, Resp>(to, req, timeout);
+      if (last.ok() || last.status().code() != StatusCode::kTimeout) {
+        co_return last;
+      }
+    }
+    co_return last;
+  }
+
+ private:
+  struct Envelope {
+    bool is_request = false;
+    uint64_t call_id = 0;
+    std::any body;  // request: Req; response: Result<Resp>
+    size_t body_bytes = 64;
+  };
+
+  template <typename Req, typename Resp>
+  Task<void> RunHandler(std::function<Task<Result<Resp>>(HostId, Req)> handler, HostId from,
+                        uint64_t call_id, Req req) {
+    ++stats_.requests_handled;
+    Result<Resp> result = co_await handler(from, std::move(req));
+    // Send drops the reply if this host crashed while handling; the caller
+    // then times out, matching a real server that died before responding.
+    size_t bytes = result.ok() ? ApproxWireSize(result.value()) : size_t{64};
+    Envelope env;
+    env.is_request = false;
+    env.call_id = call_id;
+    env.body = std::move(result);
+    net_->Send(host_id(), from, std::move(env), bytes);
+  }
+
+  void OnMessage(Message msg) {
+    auto* env = std::any_cast<Envelope>(&msg.payload);
+    if (env == nullptr) {
+      return;  // foreign traffic; not ours to decode
+    }
+    if (env->is_request) {
+      auto it = handlers_.find(std::type_index(env->body.type()));
+      if (it == handlers_.end()) {
+        return;  // no such service on this host; caller times out
+      }
+      it->second(msg.from, env->call_id, std::move(env->body));
+      return;
+    }
+    auto it = outstanding_.find(env->call_id);
+    if (it == outstanding_.end()) {
+      return;  // reply after timeout/crash; drop
+    }
+    it->second.Set(std::move(env->body));
+  }
+
+  void OnCrash() {
+    // Volatile call state dies with the host.
+    for (auto& [id, promise] : outstanding_) {
+      promise.Set(AbortedError("host crashed"));
+    }
+    outstanding_.clear();
+  }
+
+  Network* net_;
+  Host* host_;
+  uint64_t next_call_id_ = 1;
+  std::map<std::type_index, std::function<void(HostId, uint64_t, std::any)>> handlers_;
+  std::map<uint64_t, Promise<Result<std::any>>> outstanding_;
+  RpcStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_RPC_RPC_H_

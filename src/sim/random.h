@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every run of the simulator is reproducible from a single 64-bit seed. The
+// generator is xoshiro256** (public domain, Blackman & Vigna), seeded through
+// SplitMix64 so that nearby seeds give uncorrelated streams. We implement it
+// directly rather than using <random> engines so that the stream is stable
+// across standard library versions.
+
+#ifndef WVOTE_SRC_SIM_RANDOM_H_
+#define WVOTE_SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+
+namespace wvote {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  // avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Derives an independent child generator; used to give each host / client
+  // its own stream so adding one host does not perturb another's randomness.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_SIM_RANDOM_H_

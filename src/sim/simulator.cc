@@ -1,0 +1,61 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+Simulator::Simulator(uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  WVOTE_CHECK_MSG(delay >= Duration::Zero(), "cannot schedule in the past");
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  WVOTE_CHECK_MSG(when >= now_, "cannot schedule in the past");
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(cancelled);
+}
+
+bool Simulator::Step(TimePoint limit) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > limit) {
+      return false;
+    }
+    // Move the event out before running it: the callback may schedule new
+    // events and mutate the queue.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    if (*ev.cancelled) {
+      continue;
+    }
+    WVOTE_DCHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  while (Step(TimePoint::FromMicros(INT64_MAX))) {
+  }
+}
+
+size_t Simulator::RunUntil(TimePoint limit) {
+  size_t n = 0;
+  while (Step(limit)) {
+    ++n;
+  }
+  if (limit > now_) {
+    now_ = limit;
+  }
+  return n;
+}
+
+}  // namespace wvote

@@ -1,0 +1,123 @@
+// Deterministic discrete-event simulator.
+//
+// The Simulator owns simulated time: an event queue ordered by (timestamp,
+// insertion sequence) and the current clock. All activity in wvote — network
+// message delivery, RPC timeouts, disk latencies, client think times — is an
+// event on this queue. Two runs with the same seed and the same schedule of
+// API calls produce byte-identical behavior.
+//
+// Coroutines integrate through Simulator::Sleep (an awaitable that resumes
+// the coroutine after a simulated delay) and through Promise/Future
+// (src/sim/future.h), whose completions are delivered as events.
+
+#ifndef WVOTE_SRC_SIM_SIMULATOR_H_
+#define WVOTE_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/random.h"
+
+namespace wvote {
+
+// Handle to a scheduled event; allows cancellation (e.g. an RPC reply
+// cancelling its timeout). Copies share the same underlying event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Prevents the event's callback from running if it has not run yet.
+  void Cancel() {
+    if (cancelled_) {
+      *cancelled_ = true;
+    }
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint Now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Runs `fn` after `delay` of simulated time (same timestamp ties run in
+  // scheduling order).
+  EventHandle Schedule(Duration delay, std::function<void()> fn);
+  EventHandle ScheduleAt(TimePoint when, std::function<void()> fn);
+
+  // Drains the queue completely.
+  void Run();
+
+  // Processes exactly one event; false if the queue is empty. Lets callers
+  // pump the simulation until an external condition holds (e.g. a spawned
+  // task produced its result).
+  bool StepOne() { return Step(TimePoint::FromMicros(INT64_MAX)); }
+
+  // Processes events up to and including `limit`, then advances the clock to
+  // `limit`. Returns the number of events processed.
+  size_t RunUntil(TimePoint limit);
+  size_t RunFor(Duration d) { return RunUntil(Now() + d); }
+
+  size_t events_processed() const { return events_processed_; }
+  size_t events_pending() const { return queue_.size(); }
+
+  // Awaitable: suspends the calling coroutine for `d` of simulated time.
+  // Sleep(Duration::Zero()) yields: the coroutine resumes after already
+  // queued same-timestamp events.
+  auto Sleep(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration delay;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->Schedule(delay, [h]() { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+ private:
+  struct Event {
+    TimePoint when;
+    uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next event. Returns false if the queue is empty or the
+  // next event is after `limit`.
+  bool Step(TimePoint limit);
+
+  TimePoint now_;
+  uint64_t next_seq_ = 0;
+  size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  Rng rng_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,95 @@
+// Crash-atomic stable storage, after Lampson & Sturgis.
+//
+// Gifford's representatives sit on file servers that provide stable storage:
+// a write either happens completely or not at all, even across a crash in
+// the middle of the write. We reproduce the classic two-slot ("careful
+// write") scheme:
+//
+//   * Each page has two slots. A slot holds {sequence, checksum, data}.
+//   * A write targets the slot holding the OLDER sequence. While the disk
+//     write is in flight the target slot is torn (checksum invalid); the
+//     other slot still holds the previous committed value.
+//   * Read returns the valid slot with the highest sequence. A crash can
+//     therefore lose an in-flight write but can never expose a torn value
+//     or lose a completed one.
+//
+// Disk latency is simulated; a host crash during the latency window leaves
+// the slot torn exactly as a power failure would. Pages survive crashes
+// (they are "on disk"); only in-flight operations abort.
+
+#ifndef WVOTE_SRC_STORAGE_STABLE_STORE_H_
+#define WVOTE_SRC_STORAGE_STABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/host.h"
+#include "src/sim/latency.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace wvote {
+
+struct StableStoreStats {
+  uint64_t writes_started = 0;
+  uint64_t writes_completed = 0;
+  uint64_t writes_torn = 0;  // in-flight writes lost to a crash
+  uint64_t reads = 0;
+  uint64_t recoveries_from_torn_slot = 0;
+};
+
+class StableStore {
+ public:
+  StableStore(Simulator* sim, Host* host, LatencyModel write_latency,
+              LatencyModel read_latency);
+
+  // Durable, crash-atomic write of a whole page. Returns kAborted if the
+  // host crashed while the write was in flight (the old value survives).
+  Task<Status> Write(std::string key, std::string value);
+
+  // Durable read with simulated disk latency. kNotFound if the page was
+  // never completely written; kAborted on crash mid-read.
+  Task<Result<std::string>> Read(std::string key);
+
+  // Durably removes a page (log garbage collection). A crash mid-delete may
+  // leave the page present; deletes must therefore be idempotent upstream.
+  Task<Status> Delete(std::string key);
+
+  // Instant, latency-free read of the committed value; used during recovery
+  // and by tests/invariant checks. Never observes torn state as a value.
+  Result<std::string> ReadCommitted(const std::string& key) const;
+
+  bool Contains(const std::string& key) const;
+  std::vector<std::string> Keys() const;
+  std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  const StableStoreStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    uint64_t seq = 0;
+    uint64_t checksum = 0;
+    std::string data;
+    bool valid = false;
+  };
+  struct Page {
+    Slot slots[2];
+  };
+
+  // Index of the valid slot with the highest sequence, or -1.
+  static int CommittedSlot(const Page& page);
+
+  Simulator* sim_;
+  Host* host_;
+  LatencyModel write_latency_;
+  LatencyModel read_latency_;
+  std::map<std::string, Page> pages_;
+  StableStoreStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_STORAGE_STABLE_STORE_H_

@@ -1,0 +1,80 @@
+// Structured protocol tracing.
+//
+// A TraceLog is a bounded ring of timestamped protocol events — message
+// drops, crashes and recoveries, prepares/commits/aborts, quorum failures —
+// attached to a Network and shared by every component on it. It answers the
+// debugging questions a distributed trace answers in production ("what was
+// happening on rep-2 when the commit stalled?") and gives tests a way to
+// assert on protocol-level behavior rather than only on end state.
+//
+// Recording is two appends and never allocates after construction; disabled
+// (null) logs cost one branch.
+
+#ifndef WVOTE_SRC_TRACE_TRACE_H_
+#define WVOTE_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/net/message.h"
+#include "src/sim/simulator.h"
+
+namespace wvote {
+
+enum class TraceKind : uint8_t {
+  kMessageDropped,   // network drop (reason in detail)
+  kHostCrashed,
+  kHostRestarted,
+  kTxnPrepared,      // participant voted yes
+  kTxnCommitted,     // participant applied a commit
+  kTxnAborted,       // participant aborted / released
+  kRecoveryStarted,  // participant replaying its log
+  kInDoubtResolved,  // decision inquiry answered
+  kQuorumFailed,     // client could not gather enough votes
+  kRefreshInstalled, // stale representative brought current
+  kReconfigured,     // new prefix installed
+  kCustom,
+};
+
+const char* TraceKindName(TraceKind kind);
+
+struct TraceEvent {
+  TimePoint at;
+  HostId host = kInvalidHost;
+  TraceKind kind = TraceKind::kCustom;
+  std::string detail;
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(Simulator* sim, size_t capacity = 4096);
+
+  void Record(HostId host, TraceKind kind, std::string detail);
+
+  // Events in chronological order (oldest retained first).
+  std::vector<TraceEvent> Snapshot() const;
+  std::vector<TraceEvent> ForHost(HostId host) const;
+  std::vector<TraceEvent> OfKind(TraceKind kind) const;
+  uint64_t CountOf(TraceKind kind) const;
+
+  uint64_t total_recorded() const { return total_recorded_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Human-readable dump of the most recent `max_lines` events.
+  std::string Dump(size_t max_lines = 50) const;
+
+  void Clear();
+
+ private:
+  Simulator* sim_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;
+  uint64_t total_recorded_ = 0;
+  uint64_t counts_[16] = {};
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_TRACE_TRACE_H_

@@ -1,0 +1,185 @@
+#include "src/txn/coordinator.h"
+
+#include <utility>
+
+#include "src/sim/join.h"
+
+namespace wvote {
+namespace {
+
+using HostAck = std::pair<HostId, Result<Ack>>;
+
+// Drives one participant's commit with bounded retries, tagging the result
+// with the participant so completion-order joins stay correlated.
+Task<HostAck> CallCommitAt(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout,
+                           int retries) {
+  Result<Ack> ack =
+      co_await rpc->CallWithRetry<CommitReq, Ack>(host, CommitReq{txn}, timeout, retries);
+  co_return HostAck{host, std::move(ack)};
+}
+
+// Fire-and-forget lock release at a read-only participant.
+Task<void> SendAbortTo(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout) {
+  (void)co_await rpc->Call<AbortReq, Ack>(host, AbortReq{txn}, timeout);
+}
+
+}  // namespace
+
+Coordinator::Coordinator(RpcEndpoint* rpc, StableStore* store, CoordinatorOptions options)
+    : rpc_(rpc), store_(store), options_(options) {
+  rpc_->Handle<DecisionInquiryReq, DecisionResp>(
+      [this](HostId from, DecisionInquiryReq req) -> Task<Result<DecisionResp>> {
+        ++stats_.inquiries_served;
+        Result<std::string> rec = co_await store_->Read(DecisionKey(req.txn));
+        if (rec.ok() && rec.value() == "C") {
+          co_return DecisionResp{TxnDecision::kCommitted};
+        }
+        if (!rec.ok() && rec.status().code() == StatusCode::kAborted) {
+          co_return rec.status();  // we crashed mid-read; caller retries
+        }
+        // No durable commit record: presumed abort.
+        co_return DecisionResp{TxnDecision::kAborted};
+      });
+}
+
+std::string Coordinator::DecisionKey(const TxnId& txn) {
+  return "decision/" + std::to_string(txn.timestamp_us) + "." + std::to_string(txn.serial) +
+         "." + std::to_string(txn.coordinator);
+}
+
+TxnId Coordinator::Begin() { return BeginAt(rpc_->sim()->Now().ToMicros()); }
+
+TxnId Coordinator::BeginAt(int64_t timestamp_us) {
+  ++stats_.begun;
+  TxnId txn;
+  txn.timestamp_us = timestamp_us;
+  txn.serial = next_serial_++;
+  txn.coordinator = rpc_->host_id();
+  return txn;
+}
+
+Task<Status> Coordinator::CommitTransaction(TxnId txn,
+                                            std::map<HostId, std::vector<WriteIntent>> writes,
+                                            std::vector<HostId> read_only_participants) {
+  std::vector<HostId> writers;
+  writers.reserve(writes.size());
+  for (const auto& [host, intents] : writes) {
+    writers.push_back(host);
+  }
+
+  if (writers.empty()) {
+    // Read-only transaction: nothing to prepare; release locks without
+    // waiting for acknowledgements (the client's result does not depend on
+    // them, and waiting would add a round trip to every read).
+    for (HostId host : read_only_participants) {
+      Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout));
+    }
+    ++stats_.committed;
+    co_return Status::Ok();
+  }
+
+  // Phase 1: prepare at every writer in parallel.
+  std::vector<Task<Result<Ack>>> prepares;
+  prepares.reserve(writers.size());
+  for (auto& [host, intents] : writes) {
+    prepares.push_back(rpc_->Call<PrepareReq, Ack>(host, PrepareReq{txn, std::move(intents)},
+                                                   options_.rpc_timeout));
+  }
+  std::vector<Result<Ack>> votes =
+      co_await JoinAll<Result<Ack>>(rpc_->sim(), std::move(prepares));
+
+  Status failure = Status::Ok();
+  for (const Result<Ack>& vote : votes) {
+    if (!vote.ok()) {
+      failure = vote.status();
+      break;
+    }
+  }
+  if (votes.size() != writers.size() && failure.ok()) {
+    failure = InternalError("missing prepare votes");
+  }
+  if (!failure.ok()) {
+    std::vector<HostId> everyone = writers;
+    everyone.insert(everyone.end(), read_only_participants.begin(),
+                    read_only_participants.end());
+    co_await AbortTransaction(txn, std::move(everyone));
+    ++stats_.aborted;
+    co_return AbortedError("prepare failed: " + failure.ToString());
+  }
+
+  // Decision point: durably log commit before telling anyone.
+  Status logged = co_await store_->Write(DecisionKey(txn), "C");
+  if (!logged.ok()) {
+    // Crash while logging: no participant will ever see a commit record, so
+    // presumed abort resolves every prepared branch consistently.
+    ++stats_.aborted;
+    co_return AbortedError("coordinator failed to log decision");
+  }
+
+  Status phase2 = co_await SendPhase2(txn, std::move(writers),
+                                      std::move(read_only_participants));
+  if (!phase2.ok()) {
+    co_return phase2;  // only possible if our host crashed
+  }
+  ++stats_.committed;
+  co_return Status::Ok();
+}
+
+Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,
+                                     std::vector<HostId> read_only) {
+  // Read-only participants only hold locks; an abort releases them and is
+  // indistinguishable from a commit for them.
+  for (HostId host : read_only) {
+    Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout));
+  }
+
+  std::vector<Task<HostAck>> commits;
+  commits.reserve(writers.size());
+  for (HostId host : writers) {
+    commits.push_back(CallCommitAt(rpc_, host, txn, options_.rpc_timeout,
+                                   options_.commit_retries));
+  }
+  std::vector<HostAck> acks = co_await JoinAll<HostAck>(rpc_->sim(), std::move(commits));
+
+  for (const auto& [host, ack] : acks) {
+    if (!ack.ok() && ack.status().code() == StatusCode::kAborted) {
+      co_return ack.status();  // our host crashed; stop driving
+    }
+  }
+  // Any participant that still hasn't acked gets a background retrier; it
+  // will also converge on its own via recovery + decision inquiry.
+  for (auto& [host, ack] : acks) {
+    if (!ack.ok()) {
+      Spawn(RetryCommitForever(txn, host));
+    }
+  }
+  co_return Status::Ok();
+}
+
+Task<void> Coordinator::RetryCommitForever(TxnId txn, HostId participant) {
+  for (;;) {
+    if (!rpc_->host()->up()) {
+      co_return;
+    }
+    Result<Ack> ack =
+        co_await rpc_->Call<CommitReq, Ack>(participant, CommitReq{txn}, options_.rpc_timeout);
+    if (ack.ok()) {
+      co_return;
+    }
+    if (ack.status().code() == StatusCode::kAborted) {
+      co_return;  // our host crashed
+    }
+    co_await rpc_->sim()->Sleep(options_.rpc_timeout);
+  }
+}
+
+Task<void> Coordinator::AbortTransaction(TxnId txn, std::vector<HostId> participants) {
+  std::vector<Task<Result<Ack>>> aborts;
+  aborts.reserve(participants.size());
+  for (HostId host : participants) {
+    aborts.push_back(rpc_->Call<AbortReq, Ack>(host, AbortReq{txn}, options_.rpc_timeout));
+  }
+  (void)co_await JoinAll<Result<Ack>>(rpc_->sim(), std::move(aborts));
+}
+
+}  // namespace wvote

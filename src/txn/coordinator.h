@@ -1,0 +1,73 @@
+// Presumed-abort two-phase commit coordinator.
+//
+// Runs on a client host. The commit decision is logged durably on the
+// coordinator's own stable storage *before* any participant learns it;
+// recovering participants resolve in-doubt transactions by asking this host
+// (DecisionInquiryReq), and a missing decision record safely means "abort"
+// because the coordinator never reports success before logging.
+
+#ifndef WVOTE_SRC_TXN_COORDINATOR_H_
+#define WVOTE_SRC_TXN_COORDINATOR_H_
+
+#include <map>
+#include <vector>
+
+#include "src/rpc/rpc.h"
+#include "src/storage/stable_store.h"
+#include "src/txn/messages.h"
+#include "src/txn/txn_id.h"
+
+namespace wvote {
+
+struct CoordinatorOptions {
+  Duration rpc_timeout = Duration::Seconds(5);
+  int commit_retries = 3;
+};
+
+struct CoordinatorStats {
+  uint64_t begun = 0;
+  uint64_t committed = 0;
+  uint64_t aborted = 0;
+  uint64_t inquiries_served = 0;
+};
+
+class Coordinator {
+ public:
+  Coordinator(RpcEndpoint* rpc, StableStore* store, CoordinatorOptions options = {});
+
+  TxnId Begin();
+
+  // Begins a transaction with an explicit timestamp. Retrying an aborted
+  // transaction with its ORIGINAL timestamp is what gives wait-die its
+  // progress guarantee: the retry ages relative to newer transactions and
+  // eventually wins every conflict.
+  TxnId BeginAt(int64_t timestamp_us);
+
+  // Drives 2PC: prepare at every writer, durably log the decision, commit.
+  // Read-only participants just get their locks released. Returns OK only
+  // after the decision is durable and commit messages are on their way.
+  Task<Status> CommitTransaction(TxnId txn,
+                                 std::map<HostId, std::vector<WriteIntent>> writes,
+                                 std::vector<HostId> read_only_participants);
+
+  // Aborts everywhere; best-effort (participants presume abort anyway).
+  Task<void> AbortTransaction(TxnId txn, std::vector<HostId> participants);
+
+  const CoordinatorStats& stats() const { return stats_; }
+
+ private:
+  static std::string DecisionKey(const TxnId& txn);
+  Task<Status> SendPhase2(TxnId txn, std::vector<HostId> writers,
+                          std::vector<HostId> read_only);
+  Task<void> RetryCommitForever(TxnId txn, HostId participant);
+
+  RpcEndpoint* rpc_;
+  StableStore* store_;
+  CoordinatorOptions options_;
+  uint64_t next_serial_ = 1;
+  CoordinatorStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_TXN_COORDINATOR_H_

@@ -1,0 +1,256 @@
+#include "src/txn/lock_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+bool LockManager::Compatible(const Entry& entry, TxnId txn, LockMode mode) {
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      continue;  // own holdings never conflict (reentry / upgrade)
+    }
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void LockManager::SetLeasePolicy(Duration lease, std::function<bool(const TxnId&)> exempt) {
+  lease_ = lease;
+  lease_exempt_ = std::move(exempt);
+}
+
+void LockManager::MaybeExpireHolders(const std::string& key) {
+  if (lease_ <= Duration::Zero()) {
+    return;
+  }
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return;
+  }
+  const TimePoint cutoff =
+      TimePoint::FromMicros(sim_->Now().ToMicros() - lease_.ToMicros());
+  std::vector<TxnId> stale;
+  for (const Holder& h : it->second.holders) {
+    if (h.granted_at <= cutoff && (!lease_exempt_ || !lease_exempt_(h.txn))) {
+      stale.push_back(h.txn);
+    }
+  }
+  for (const TxnId& txn : stale) {
+    ++stats_.leases_expired;
+    ReleaseAll(txn);  // presumed dead everywhere, not just on this key
+  }
+}
+
+Task<Status> LockManager::Acquire(TxnId txn, std::string key, LockMode mode,
+                                  Duration timeout) {
+  MaybeExpireHolders(key);
+  Entry& entry = table_[key];
+
+  // Reentrant acquire / upgrade detection.
+  Holder* own = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      own = &h;
+      break;
+    }
+  }
+  if (own != nullptr) {
+    if (own->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      co_return Status::Ok();  // already strong enough
+    }
+    if (Compatible(entry, txn, LockMode::kExclusive)) {
+      own->mode = LockMode::kExclusive;
+      ++stats_.upgrades;
+      co_return Status::Ok();
+    }
+    // Upgrade must wait for other S holders to drain; fall through to the
+    // wait-die check below.
+  }
+
+  const bool can_grant_now =
+      own == nullptr && entry.waiters.empty() && Compatible(entry, txn, mode);
+  if (can_grant_now) {
+    entry.holders.push_back(Holder{txn, mode, sim_->Now()});
+    ++stats_.grants_immediate;
+    co_return Status::Ok();
+  }
+
+  // Wait-die: we may wait only if we are older than every conflicting holder.
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      continue;
+    }
+    const bool conflicts = (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
+    if (conflicts && !txn.OlderThan(h.txn)) {
+      ++stats_.dies;
+      co_return ConflictError("wait-die: " + txn.ToString() + " younger than holder " +
+                              h.txn.ToString() + " on " + key);
+    }
+  }
+
+  Promise<Status> wakeup(sim_);
+  Future<Status> woken = wakeup.GetFuture();
+  entry.waiters.push_back(Waiter{txn, mode, wakeup});
+
+  EventHandle timeout_event = sim_->Schedule(timeout, [this, wakeup]() mutable {
+    if (wakeup.Set(TimeoutError("lock wait timeout"))) {
+      ++stats_.timeouts;
+    }
+  });
+
+  Status st = co_await std::move(woken);
+  timeout_event.Cancel();
+  if (st.ok()) {
+    ++stats_.grants_after_wait;
+  } else {
+    // Remove our dead waiter entry so it doesn't block the queue. The entry
+    // may already be gone if Clear()/ReleaseAll ran.
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+      auto& waiters = it->second.waiters;
+      waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                                   [&](const Waiter& w) {
+                                     return w.txn == txn && w.wakeup.IsSet();
+                                   }),
+                    waiters.end());
+      WakeWaiters(key);
+    }
+  }
+  co_return st;
+}
+
+void LockManager::WakeWaiters(const std::string& key) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return;
+  }
+  Entry& entry = it->second;
+  while (!entry.waiters.empty()) {
+    Waiter& front = entry.waiters.front();
+    if (front.wakeup.IsSet()) {  // timed out / aborted; sweep
+      entry.waiters.pop_front();
+      continue;
+    }
+    // An upgrade waiter holds S already; it becomes grantable when it is the
+    // sole holder. A fresh waiter needs plain compatibility.
+    Holder* own = nullptr;
+    for (Holder& h : entry.holders) {
+      if (h.txn == front.txn) {
+        own = &h;
+        break;
+      }
+    }
+    if (!Compatible(entry, front.txn, front.mode)) {
+      // Re-apply the wait-die rule against the CURRENT holders: a waiter
+      // that is now younger than a conflicting holder must die, or it could
+      // close a deadlock cycle that the admission-time check permitted.
+      bool must_die = false;
+      for (const Holder& h : entry.holders) {
+        if (h.txn == front.txn) {
+          continue;
+        }
+        const bool conflicts =
+            (front.mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
+        if (conflicts && !front.txn.OlderThan(h.txn)) {
+          must_die = true;
+          break;
+        }
+      }
+      if (must_die) {
+        ++stats_.dies;
+        front.wakeup.Set(ConflictError("wait-die on regrant: " + front.txn.ToString()));
+        entry.waiters.pop_front();
+        continue;
+      }
+      break;  // FIFO: nothing behind an ungrantable head is granted
+    }
+    if (own != nullptr) {
+      own->mode = front.mode;
+      ++stats_.upgrades;
+    } else {
+      entry.holders.push_back(Holder{front.txn, front.mode, sim_->Now()});
+    }
+    // Grant and keep sweeping: remaining waiters either batch in (shared),
+    // or hit the incompatible branch above, where the regrant wait-die
+    // check decides whether they may keep waiting.
+    front.wakeup.Set(Status::Ok());
+    entry.waiters.pop_front();
+  }
+  if (entry.holders.empty() && entry.waiters.empty()) {
+    table_.erase(it);
+  }
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::vector<std::string> touched;
+  for (auto& [key, entry] : table_) {
+    const size_t before = entry.holders.size();
+    entry.holders.erase(std::remove_if(entry.holders.begin(), entry.holders.end(),
+                                       [&](const Holder& h) { return h.txn == txn; }),
+                        entry.holders.end());
+    bool waiter_removed = false;
+    for (Waiter& w : entry.waiters) {
+      if (w.txn == txn && !w.wakeup.IsSet()) {
+        w.wakeup.Set(AbortedError("transaction released while waiting"));
+        waiter_removed = true;
+      }
+    }
+    if (entry.holders.size() != before || waiter_removed) {
+      touched.push_back(key);
+    }
+  }
+  for (const std::string& key : touched) {
+    WakeWaiters(key);
+  }
+}
+
+std::vector<TxnId> LockManager::ReleaseExpired(
+    Duration lease, const std::function<bool(const TxnId&)>& exempt) {
+  const TimePoint cutoff =
+      TimePoint::FromMicros(sim_->Now().ToMicros() - lease.ToMicros());
+  std::vector<TxnId> expired;
+  for (const auto& [key, entry] : table_) {
+    for (const Holder& h : entry.holders) {
+      if (h.granted_at <= cutoff && !exempt(h.txn)) {
+        expired.push_back(h.txn);
+      }
+    }
+  }
+  // Deduplicate and release whole transactions (a txn past its lease is
+  // presumed dead everywhere, not just on one key).
+  std::sort(expired.begin(), expired.end());
+  expired.erase(std::unique(expired.begin(), expired.end()), expired.end());
+  for (const TxnId& txn : expired) {
+    ReleaseAll(txn);
+  }
+  return expired;
+}
+
+void LockManager::Clear() {
+  for (auto& [key, entry] : table_) {
+    for (Waiter& w : entry.waiters) {
+      w.wakeup.Set(AbortedError("lock manager cleared (crash)"));
+    }
+  }
+  table_.clear();
+}
+
+bool LockManager::Holds(TxnId txn, const std::string& key, LockMode mode) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return false;
+  }
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+}  // namespace wvote

@@ -1,0 +1,114 @@
+// Per-server lock manager with wait-die deadlock avoidance.
+//
+// Gifford's representatives serialize access with read (shared) and write
+// (exclusive) locks held until transaction end (strict two-phase locking).
+// Distributed deadlock is avoided with the classic wait-die rule: a
+// requester older than every conflicting holder is allowed to wait; a
+// younger requester is refused immediately (kConflict) and its transaction
+// aborts and may retry — keeping its original timestamp so it eventually
+// becomes the oldest and succeeds.
+//
+// The lock table is volatile: a crash clears it (callers re-acquire after
+// recovery), which is exactly what happens to lock state on a real server.
+
+#ifndef WVOTE_SRC_TXN_LOCK_MANAGER_H_
+#define WVOTE_SRC_TXN_LOCK_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/future.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/txn/txn_id.h"
+
+namespace wvote {
+
+enum class LockMode { kShared, kExclusive };
+
+inline const char* LockModeName(LockMode m) {
+  return m == LockMode::kShared ? "S" : "X";
+}
+
+struct LockManagerStats {
+  uint64_t grants_immediate = 0;
+  uint64_t grants_after_wait = 0;
+  uint64_t dies = 0;      // wait-die refusals
+  uint64_t timeouts = 0;  // waiters that gave up
+  uint64_t upgrades = 0;  // S -> X upgrades
+  uint64_t leases_expired = 0;  // orphaned holders swept by the lease policy
+};
+
+class LockManager {
+ public:
+  explicit LockManager(Simulator* sim) : sim_(sim) {}
+
+  // Acquires `mode` on `key` for `txn`, waiting up to `timeout` if the
+  // wait-die rule permits waiting. Re-acquiring a held lock is a no-op;
+  // S -> X upgrade succeeds immediately when txn is the sole holder.
+  Task<Status> Acquire(TxnId txn, std::string key, LockMode mode, Duration timeout);
+
+  // Releases every lock held by `txn` and wakes eligible waiters.
+  void ReleaseAll(TxnId txn);
+
+  // Installs the orphan-lock lease policy: when an Acquire encounters a
+  // holder granted more than `lease` ago that `exempt` does not protect, the
+  // holder's transaction is presumed dead and released. Zero disables.
+  void SetLeasePolicy(Duration lease, std::function<bool(const TxnId&)> exempt);
+
+  // Lease sweep: releases every lock granted before `now - lease` whose
+  // holder `exempt` does not protect (prepared transactions must keep their
+  // locks until their 2PC outcome is known). Returns the released holders'
+  // transaction ids. This is the orphan-lock backstop: a client that crashed
+  // or lost its reply after a probe was granted never sends an explicit
+  // release, and without leases that lock would stall the key forever.
+  std::vector<TxnId> ReleaseExpired(Duration lease,
+                                    const std::function<bool(const TxnId&)>& exempt);
+
+  // Drops the whole table (host crash).
+  void Clear();
+
+  bool Holds(TxnId txn, const std::string& key, LockMode mode) const;
+  size_t num_locked_keys() const { return table_.size(); }
+  const LockManagerStats& stats() const { return stats_; }
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+    TimePoint granted_at;
+  };
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    Promise<Status> wakeup;
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> waiters;
+  };
+
+  // True if `txn` may be granted `mode` given current holders (ignoring any
+  // holding entry for txn itself, which is handled as reentry/upgrade).
+  static bool Compatible(const Entry& entry, TxnId txn, LockMode mode);
+
+  // Grants queued waiters that have become compatible, FIFO.
+  void WakeWaiters(const std::string& key);
+
+  // Applies the lease policy to `key`'s holders before a new acquire.
+  void MaybeExpireHolders(const std::string& key);
+
+  Simulator* sim_;
+  std::map<std::string, Entry> table_;
+  Duration lease_ = Duration::Zero();
+  std::function<bool(const TxnId&)> lease_exempt_;
+  LockManagerStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,217 @@
+#include "src/txn/participant.h"
+
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+Participant::Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOptions options)
+    : rpc_(rpc),
+      store_(store),
+      options_(options),
+      locks_(rpc->sim()),
+      log_(store) {
+  RegisterHandlers();
+  rpc_->host()->AddCrashListener([this]() {
+    locks_.Clear();
+    prepared_.clear();
+  });
+  rpc_->host()->AddRestartListener([this]() { Spawn(Recover()); });
+  // Orphan locks are expired lazily, at the moment a new acquire runs into
+  // them; prepared transactions are exempt until their 2PC outcome arrives.
+  locks_.SetLeasePolicy(options_.lock_lease,
+                        [this](const TxnId& txn) { return prepared_.count(txn) != 0; });
+}
+
+void Participant::RegisterHandlers() {
+  rpc_->Handle<LockReq, Ack>([this](HostId from, LockReq req) -> Task<Result<Ack>> {
+    Status st = co_await Lock(req.txn, std::move(req.key), req.mode);
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return Ack{};
+  });
+  rpc_->Handle<TxnReadReq, TxnReadResp>(
+      [this](HostId from, TxnReadReq req) -> Task<Result<TxnReadResp>> {
+        Result<std::string> value = co_await TxnRead(req.txn, std::move(req.key));
+        if (!value.ok()) {
+          co_return value.status();
+        }
+        co_return TxnReadResp{std::move(value.value())};
+      });
+  rpc_->Handle<PrepareReq, Ack>([this](HostId from, PrepareReq req) -> Task<Result<Ack>> {
+    Status st = co_await Prepare(req.txn, std::move(req.writes));
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return Ack{};
+  });
+  rpc_->Handle<CommitReq, Ack>([this](HostId from, CommitReq req) -> Task<Result<Ack>> {
+    Status st = co_await Commit(req.txn);
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return Ack{};
+  });
+  rpc_->Handle<AbortReq, Ack>([this](HostId from, AbortReq req) -> Task<Result<Ack>> {
+    Status st = co_await Abort(req.txn);
+    if (!st.ok()) {
+      co_return st;
+    }
+    co_return Ack{};
+  });
+}
+
+Result<std::string> Participant::PeekCommitted(const std::string& key) const {
+  return store_->ReadCommitted(DataKey(key));
+}
+
+Task<Status> Participant::Lock(TxnId txn, std::string key, LockMode mode) {
+  return locks_.Acquire(txn, DataKey(key), mode, options_.lock_wait_timeout);
+}
+
+Task<Result<std::string>> Participant::TxnRead(TxnId txn, std::string key) {
+  const std::string data_key = DataKey(key);
+  Status st = co_await locks_.Acquire(txn, data_key, LockMode::kShared,
+                                      options_.lock_wait_timeout);
+  if (!st.ok()) {
+    co_return st;
+  }
+  co_return co_await store_->Read(data_key);
+}
+
+Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes) {
+  // The client must already hold exclusive locks on every key it intends to
+  // write; a crash since then cleared them, in which case serializability is
+  // no longer guaranteed and we must vote no.
+  for (const WriteIntent& w : writes) {
+    if (!locks_.Holds(txn, DataKey(w.key), LockMode::kExclusive)) {
+      ++stats_.prepares_refused;
+      co_return AbortedError("prepare without exclusive lock on " + w.key);
+    }
+  }
+  TxnRecord record;
+  record.txn = txn;
+  record.state = TxnRecordState::kPrepared;
+  record.writes = std::move(writes);
+  Status st = co_await log_.Put(record);
+  if (!st.ok()) {
+    ++stats_.prepares_refused;
+    co_return st;
+  }
+  prepared_.insert(txn);
+  ++stats_.prepares_ok;
+  if (TraceLog* trace = rpc_->network()->trace()) {
+    trace->Record(rpc_->host_id(), TraceKind::kTxnPrepared, txn.ToString());
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> Participant::Commit(TxnId txn) {
+  Result<TxnRecord> record = log_.Lookup(txn);
+  if (!record.ok()) {
+    // Record already applied and garbage-collected (duplicate commit), or
+    // this was a read-only participant. Commit is idempotent.
+    locks_.ReleaseAll(txn);
+    co_return Status::Ok();
+  }
+  record.value().state = TxnRecordState::kCommitted;
+  Status st = co_await log_.Put(record.value());
+  if (!st.ok()) {
+    co_return st;
+  }
+  st = co_await ApplyCommitted(std::move(record.value()));
+  if (!st.ok()) {
+    co_return st;
+  }
+  ++stats_.commits;
+  prepared_.erase(txn);
+  locks_.ReleaseAll(txn);
+  if (TraceLog* trace = rpc_->network()->trace()) {
+    trace->Record(rpc_->host_id(), TraceKind::kTxnCommitted, txn.ToString());
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> Participant::Abort(TxnId txn) {
+  if (log_.Lookup(txn).ok()) {
+    Status st = co_await log_.Remove(txn);
+    if (!st.ok()) {
+      co_return st;
+    }
+  }
+  ++stats_.aborts;
+  prepared_.erase(txn);
+  locks_.ReleaseAll(txn);
+  if (TraceLog* trace = rpc_->network()->trace()) {
+    trace->Record(rpc_->host_id(), TraceKind::kTxnAborted, txn.ToString());
+  }
+  co_return Status::Ok();
+}
+
+Task<Status> Participant::ApplyCommitted(TxnRecord record) {
+  for (const WriteIntent& w : record.writes) {
+    Status st = co_await store_->Write(DataKey(w.key), w.value);
+    if (!st.ok()) {
+      co_return st;  // crash mid-apply; recovery will re-apply
+    }
+  }
+  co_return co_await log_.Remove(record.txn);
+}
+
+Task<void> Participant::Recover() {
+  ++stats_.recoveries;
+  if (TraceLog* trace = rpc_->network()->trace()) {
+    trace->Record(rpc_->host_id(), TraceKind::kRecoveryStarted, "");
+  }
+  for (TxnRecord& record : log_.RecoverAll()) {
+    if (record.state == TxnRecordState::kCommitted) {
+      ++stats_.recovered_committed;
+      Status st = co_await ApplyCommitted(std::move(record));
+      (void)st;  // a crash during recovery just means recovering again later
+      continue;
+    }
+    // Prepared and in doubt. Re-lock the written keys so new transactions
+    // cannot slip in under the undecided writes, then resolve asynchronously.
+    ++stats_.recovered_in_doubt;
+    prepared_.insert(record.txn);
+    for (const WriteIntent& w : record.writes) {
+      // The table is empty right after a crash, so these grants are
+      // immediate; timeouts only matter if two in-doubt records overlap.
+      (void)co_await locks_.Acquire(record.txn, DataKey(w.key), LockMode::kExclusive,
+                                    options_.lock_wait_timeout);
+    }
+    Spawn(ResolveInDoubt(std::move(record)));
+  }
+}
+
+Task<void> Participant::ResolveInDoubt(TxnRecord record) {
+  for (;;) {
+    if (!rpc_->host()->up()) {
+      co_return;  // crashed again; next recovery restarts resolution
+    }
+    Result<DecisionResp> resp = co_await rpc_->Call<DecisionInquiryReq, DecisionResp>(
+        record.txn.coordinator, DecisionInquiryReq{record.txn}, options_.inquiry_interval);
+    if (resp.ok()) {
+      if (TraceLog* trace = rpc_->network()->trace()) {
+        trace->Record(rpc_->host_id(), TraceKind::kInDoubtResolved,
+                      record.txn.ToString() + (resp.value().decision == TxnDecision::kCommitted
+                                                   ? " -> commit"
+                                                   : " -> abort"));
+      }
+      if (resp.value().decision == TxnDecision::kCommitted) {
+        (void)co_await Commit(record.txn);
+      } else {
+        (void)co_await Abort(record.txn);
+      }
+      co_return;
+    }
+    if (resp.status().code() == StatusCode::kAborted) {
+      co_return;  // our own host crashed
+    }
+    co_await rpc_->sim()->Sleep(options_.inquiry_interval);
+  }
+}
+
+}  // namespace wvote

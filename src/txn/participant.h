@@ -1,0 +1,96 @@
+// Transaction participant: the server-side half of the substrate.
+//
+// One Participant runs on each representative's host. It owns the volatile
+// lock table, the durable intentions log, and the durable data pages, and
+// serves the lock / transactional-read / prepare / commit / abort RPCs.
+//
+// Crash behavior: the lock table clears (Host crash listener); in-flight
+// disk operations abort. On restart, recovery re-applies committed records,
+// re-locks and resolves prepared (in-doubt) records by asking their
+// coordinators, and only then opens for business.
+
+#ifndef WVOTE_SRC_TXN_PARTICIPANT_H_
+#define WVOTE_SRC_TXN_PARTICIPANT_H_
+
+#include <set>
+#include <string>
+
+#include "src/rpc/rpc.h"
+#include "src/storage/stable_store.h"
+#include "src/txn/intentions_log.h"
+#include "src/txn/lock_manager.h"
+#include "src/txn/messages.h"
+
+namespace wvote {
+
+struct ParticipantStats {
+  uint64_t prepares_ok = 0;
+  uint64_t prepares_refused = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t recoveries = 0;
+  uint64_t recovered_committed = 0;
+  uint64_t recovered_in_doubt = 0;
+  uint64_t leases_expired = 0;  // orphaned transactions swept
+};
+
+struct ParticipantOptions {
+  // How long a lock request queues behind a conflicting holder before the
+  // caller gives up.
+  Duration lock_wait_timeout = Duration::Seconds(10);
+  // Retransmission interval for in-doubt decision inquiries.
+  Duration inquiry_interval = Duration::Seconds(1);
+  // Orphan-lock lease: locks whose transaction shows no progress for this
+  // long are presumed abandoned (crashed client, lost reply) and released —
+  // EXCEPT locks of prepared transactions, which must hold until their 2PC
+  // outcome is known. Zero disables the sweeper. Must be much longer than
+  // any legitimate transaction.
+  Duration lock_lease = Duration::Seconds(60);
+};
+
+class Participant {
+ public:
+  Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOptions options = {});
+
+  LockManager& locks() { return locks_; }
+  StableStore& store() { return *store_; }
+  const ParticipantStats& stats() const { return stats_; }
+
+  // Key of the durable page backing application object `key`.
+  static std::string DataKey(const std::string& key) { return "data/" + key; }
+
+  // Latency-free committed read; the voting layer uses this for version
+  // inquiries that do not take locks.
+  Result<std::string> PeekCommitted(const std::string& key) const;
+
+  // Local (same-host) transactional operations, used when a client or a
+  // suite component is co-resident with the representative.
+  Task<Result<std::string>> TxnRead(TxnId txn, std::string key);
+  Task<Status> Lock(TxnId txn, std::string key, LockMode mode);
+  Task<Status> Prepare(TxnId txn, std::vector<WriteIntent> writes);
+  Task<Status> Commit(TxnId txn);
+  Task<Status> Abort(TxnId txn);
+
+ private:
+  void RegisterHandlers();
+  Task<void> Recover();
+
+  // Applies a committed record's intents to the data pages, then GCs it.
+  Task<Status> ApplyCommitted(TxnRecord record);
+  // Resolves one in-doubt prepared record by querying its coordinator.
+  Task<void> ResolveInDoubt(TxnRecord record);
+
+  RpcEndpoint* rpc_;
+  StableStore* store_;
+  ParticipantOptions options_;
+  LockManager locks_;
+  IntentionsLog log_;
+  // Transactions currently prepared here (volatile mirror of the durable
+  // log); their locks are exempt from lease expiry.
+  std::set<TxnId> prepared_;
+  ParticipantStats stats_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_TXN_PARTICIPANT_H_

@@ -1,0 +1,39 @@
+// Transaction identity.
+//
+// A TxnId is globally unique and totally ordered: (begin timestamp, serial,
+// coordinator host). The order doubles as transaction age for the lock
+// manager's wait-die deadlock avoidance — smaller means older means higher
+// priority. The coordinator host id also tells a recovering participant who
+// to ask about an in-doubt prepared transaction.
+
+#ifndef WVOTE_SRC_TXN_TXN_ID_H_
+#define WVOTE_SRC_TXN_TXN_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/message.h"
+
+namespace wvote {
+
+struct TxnId {
+  int64_t timestamp_us = 0;  // simulated time at Begin()
+  uint64_t serial = 0;       // per-coordinator counter (breaks timestamp ties)
+  HostId coordinator = kInvalidHost;
+
+  auto operator<=>(const TxnId&) const = default;
+
+  bool valid() const { return coordinator != kInvalidHost; }
+
+  // True if this transaction is older (= higher priority) than `other`.
+  bool OlderThan(const TxnId& other) const { return *this < other; }
+
+  std::string ToString() const {
+    return "txn(" + std::to_string(timestamp_us) + "." + std::to_string(serial) + "@" +
+           std::to_string(coordinator) + ")";
+  }
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_TXN_TXN_ID_H_

@@ -1,0 +1,41 @@
+#include "src/workload/fault_injector.h"
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+FaultProfile ProfileForAvailability(double availability, Duration mttr) {
+  WVOTE_CHECK(availability > 0.0 && availability < 1.0);
+  // availability = mttf / (mttf + mttr)  =>  mttf = mttr * a / (1 - a)
+  const double mttf_us = static_cast<double>(mttr.ToMicros()) * availability /
+                         (1.0 - availability);
+  return FaultProfile{Duration::Micros(static_cast<int64_t>(mttf_us)), mttr};
+}
+
+Task<void> RunCrashRestartCycle(Simulator* sim, Host* host, Duration mttf, Duration mttr,
+                                TimePoint end, uint64_t seed, FaultInjectorStats* stats) {
+  Rng rng(seed);
+  while (sim->Now() < end) {
+    const double up_us = rng.NextExponential(static_cast<double>(mttf.ToMicros()));
+    co_await sim->Sleep(Duration::Micros(static_cast<int64_t>(up_us)));
+    if (sim->Now() >= end) {
+      break;
+    }
+    host->Crash();
+    if (stats != nullptr) {
+      ++stats->crashes;
+    }
+    const double down_us = rng.NextExponential(static_cast<double>(mttr.ToMicros()));
+    const Duration downtime = Duration::Micros(static_cast<int64_t>(down_us));
+    co_await sim->Sleep(downtime);
+    if (stats != nullptr) {
+      stats->total_downtime += downtime;
+    }
+    host->Restart();
+  }
+  if (!host->up()) {
+    host->Restart();
+  }
+}
+
+}  // namespace wvote

@@ -1,0 +1,39 @@
+// Crash/restart fault injection.
+//
+// Drives a host through an exponential crash/repair cycle: up for
+// Exp(mttf), down for Exp(mttr). The steady-state availability of such a
+// host is mttf / (mttf + mttr), which is what the analytic model's
+// per-representative availability parameter means — so simulation sweeps
+// and the closed-form blocking probabilities are directly comparable.
+
+#ifndef WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_
+#define WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_
+
+#include "src/net/host.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace wvote {
+
+struct FaultInjectorStats {
+  uint64_t crashes = 0;
+  Duration total_downtime;
+};
+
+// Cycles `host` until `end` of simulated time; the host is left up.
+// `stats` (optional) must outlive the task.
+Task<void> RunCrashRestartCycle(Simulator* sim, Host* host, Duration mttf, Duration mttr,
+                                TimePoint end, uint64_t seed,
+                                FaultInjectorStats* stats = nullptr);
+
+// mttf/mttr pair whose steady-state availability is `availability`, with the
+// given repair time.
+struct FaultProfile {
+  Duration mttf;
+  Duration mttr;
+};
+FaultProfile ProfileForAvailability(double availability, Duration mttr);
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_

@@ -1,0 +1,72 @@
+#include "src/workload/generator.h"
+
+#include <cstdio>
+
+namespace wvote {
+
+void WorkloadStats::MergeFrom(const WorkloadStats& other) {
+  reads_ok += other.reads_ok;
+  writes_ok += other.writes_ok;
+  read_failures += other.read_failures;
+  write_failures += other.write_failures;
+  read_latency.MergeFrom(other.read_latency);
+  write_latency.MergeFrom(other.write_latency);
+}
+
+std::string WorkloadStats::Summary() const {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "reads ok=%llu fail=%llu [%s] | writes ok=%llu fail=%llu [%s]",
+                static_cast<unsigned long long>(reads_ok),
+                static_cast<unsigned long long>(read_failures),
+                read_latency.Summary().c_str(),
+                static_cast<unsigned long long>(writes_ok),
+                static_cast<unsigned long long>(write_failures),
+                write_latency.Summary().c_str());
+  return buf;
+}
+
+Task<void> RunClosedLoopClient(Simulator* sim, ReplicatedStore* store, WorkloadOptions options,
+                               uint64_t seed, WorkloadStats* stats) {
+  Rng rng(seed);
+  const TimePoint end = sim->Now() + options.run_length;
+  uint64_t update_counter = 0;
+
+  while (sim->Now() < end) {
+    const double think_us = rng.NextExponential(
+        static_cast<double>(options.mean_think_time.ToMicros()));
+    co_await sim->Sleep(Duration::Micros(static_cast<int64_t>(think_us)));
+    if (sim->Now() >= end) {
+      break;
+    }
+
+    const TimePoint start = sim->Now();
+    if (rng.NextBernoulli(options.read_fraction)) {
+      Result<std::string> contents = co_await store->Read();
+      const Duration latency = sim->Now() - start;
+      if (contents.ok()) {
+        ++stats->reads_ok;
+        stats->read_latency.Record(latency);
+      } else {
+        ++stats->read_failures;
+      }
+    } else {
+      // Fresh contents per update, padded to value_size.
+      std::string contents = "update-" + std::to_string(seed) + "-" +
+                             std::to_string(update_counter++);
+      if (contents.size() < options.value_size) {
+        contents.resize(options.value_size, 'x');
+      }
+      Status st = co_await store->Write(std::move(contents));
+      const Duration latency = sim->Now() - start;
+      if (st.ok()) {
+        ++stats->writes_ok;
+        stats->write_latency.Record(latency);
+      } else {
+        ++stats->write_failures;
+      }
+    }
+  }
+}
+
+}  // namespace wvote

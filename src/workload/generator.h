@@ -1,0 +1,54 @@
+// Closed-loop workload generator.
+//
+// Each client alternates exponentially distributed think time with one
+// read or write (chosen by read_fraction), measuring end-to-end operation
+// latency in simulated time. This is the knob set Gifford's evaluation
+// reasons over: read/write mix, access rate, and object size.
+
+#ifndef WVOTE_SRC_WORKLOAD_GENERATOR_H_
+#define WVOTE_SRC_WORKLOAD_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/workload/histogram.h"
+#include "src/workload/replicated_store.h"
+
+namespace wvote {
+
+struct WorkloadOptions {
+  double read_fraction = 0.9;
+  Duration mean_think_time = Duration::Millis(100);
+  Duration run_length = Duration::Seconds(60);
+  size_t value_size = 1024;  // bytes written per update
+};
+
+struct WorkloadStats {
+  uint64_t reads_ok = 0;
+  uint64_t writes_ok = 0;
+  uint64_t read_failures = 0;
+  uint64_t write_failures = 0;
+  LatencyHistogram read_latency;
+  LatencyHistogram write_latency;
+
+  uint64_t ops_ok() const { return reads_ok + writes_ok; }
+  double throughput_per_sec(Duration run_length) const {
+    const double secs = run_length.ToSeconds();
+    return secs > 0 ? static_cast<double>(ops_ok()) / secs : 0.0;
+  }
+  void MergeFrom(const WorkloadStats& other);
+  std::string Summary() const;
+};
+
+// Runs one closed-loop client against `store` until `options.run_length` of
+// simulated time elapses (measured from the task's start). `stats` must
+// outlive the task.
+Task<void> RunClosedLoopClient(Simulator* sim, ReplicatedStore* store, WorkloadOptions options,
+                               uint64_t seed, WorkloadStats* stats);
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_WORKLOAD_GENERATOR_H_

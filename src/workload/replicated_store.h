@@ -1,0 +1,47 @@
+// Scheme-neutral interface over one replicated object.
+//
+// The workload generator and the comparison benchmarks (Gifford's weighted
+// voting vs the era's alternatives) drive every scheme through this
+// interface: whole-object read, whole-object write. Implementations:
+// SuiteStoreAdapter (weighted voting), plus the baselines in src/baselines.
+
+#ifndef WVOTE_SRC_WORKLOAD_REPLICATED_STORE_H_
+#define WVOTE_SRC_WORKLOAD_REPLICATED_STORE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/core/suite_client.h"
+#include "src/sim/task.h"
+
+namespace wvote {
+
+class ReplicatedStore {
+ public:
+  virtual ~ReplicatedStore() = default;
+
+  virtual Task<Result<std::string>> Read() = 0;
+  virtual Task<Status> Write(std::string contents) = 0;
+  virtual const char* SchemeName() const = 0;
+};
+
+// Weighted voting, adapted to the neutral interface.
+class SuiteStoreAdapter : public ReplicatedStore {
+ public:
+  explicit SuiteStoreAdapter(SuiteClient* client, int retries = 16)
+      : client_(client), retries_(retries) {}
+
+  Task<Result<std::string>> Read() override { return client_->ReadOnce(retries_); }
+  Task<Status> Write(std::string contents) override {
+    return client_->WriteOnce(std::move(contents), retries_);
+  }
+  const char* SchemeName() const override { return "weighted-voting"; }
+
+ private:
+  SuiteClient* client_;
+  int retries_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_WORKLOAD_REPLICATED_STORE_H_

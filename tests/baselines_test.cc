@@ -1,0 +1,232 @@
+// Baseline schemes: degenerate vote configs, primary copy, and Thomas's
+// majority consensus.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/baselines/configs.h"
+#include "src/baselines/majority_consensus.h"
+#include "src/baselines/primary_copy.h"
+#include "src/core/cluster.h"
+
+namespace wvote {
+namespace {
+
+TEST(BaselineConfigsTest, RowaShape) {
+  SuiteConfig cfg = MakeRowaConfig("f", {"a", "b", "c", "d"});
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_EQ(cfg.read_quorum, 1);
+  EXPECT_EQ(cfg.write_quorum, 4);
+}
+
+TEST(BaselineConfigsTest, MajorityShape) {
+  for (int n : {3, 4, 5, 7}) {
+    std::vector<std::string> hosts;
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back("h" + std::to_string(i));
+    }
+    SuiteConfig cfg = MakeMajorityConfig("f", hosts);
+    EXPECT_TRUE(cfg.Validate().ok()) << n;
+    EXPECT_EQ(cfg.read_quorum, n / 2 + 1);
+    EXPECT_EQ(cfg.write_quorum, n / 2 + 1);
+  }
+}
+
+TEST(BaselineConfigsTest, UnreplicatedShape) {
+  SuiteConfig cfg = MakeUnreplicatedConfig("f", "solo");
+  EXPECT_TRUE(cfg.Validate().ok());
+  EXPECT_EQ(cfg.TotalVotes(), 1);
+}
+
+class PrimaryCopyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    cluster_->AddRepresentative("primary");
+    cluster_->AddRepresentative("backup-1");
+    cluster_->AddRepresentative("backup-2");
+    config_ = MakeUnreplicatedConfig("f", "primary");
+    ASSERT_TRUE(cluster_->CreateSuite(config_, "initial").ok());
+    client_ = cluster_->AddClient("client", config_);
+    backups_ = {cluster_->net().FindHost("backup-1")->id(),
+                cluster_->net().FindHost("backup-2")->id()};
+    // Backups also need the suite bootstrapped so refresh installs land on
+    // an existing page namespace (Refresh creates pages anyway; bootstrap
+    // keeps CurrentValue() well-defined before the first propagation).
+    for (const char* b : {"backup-1", "backup-2"}) {
+      SuiteConfig bcfg = MakeUnreplicatedConfig("f", b);
+      Status st = cluster_->RunTask(
+          cluster_->representative(b)->BootstrapSuite(bcfg, VersionedValue{1, "initial"}));
+      ASSERT_TRUE(st.ok());
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  SuiteConfig config_;
+  SuiteClient* client_ = nullptr;
+  std::vector<HostId> backups_;
+};
+
+TEST_F(PrimaryCopyTest, WritePropagatesToBackups) {
+  PrimaryCopyStore store(client_, backups_);
+  ASSERT_TRUE(cluster_->RunTask(store.Write("updated")).ok());
+  cluster_->sim().RunFor(Duration::Seconds(2));
+  EXPECT_EQ(cluster_->representative("backup-1")->CurrentValue("f").value().contents,
+            "updated");
+  EXPECT_EQ(cluster_->representative("backup-2")->CurrentValue("f").value().contents,
+            "updated");
+  EXPECT_EQ(store.stats().propagations, 2u);
+}
+
+TEST_F(PrimaryCopyTest, PrimaryReadIsStrict) {
+  PrimaryCopyStore store(client_, backups_, PrimaryCopyReadMode::kPrimary);
+  ASSERT_TRUE(cluster_->RunTask(store.Write("v2")).ok());
+  Result<std::string> r = cluster_->RunTask(store.Read());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v2");
+  EXPECT_EQ(store.stats().reads_primary, 1u);
+}
+
+TEST_F(PrimaryCopyTest, BackupReadMayBeStale) {
+  // Partition the backups away so propagation cannot land, then read from a
+  // backup: it serves the old value (that is the scheme's weakness).
+  PrimaryCopyStore store(client_, backups_, PrimaryCopyReadMode::kLocalBackup);
+  cluster_->net().Partition(
+      {{cluster_->net().FindHost("primary")->id(), cluster_->net().FindHost("client")->id()},
+       {backups_[0], backups_[1]}});
+  ASSERT_TRUE(cluster_->RunTask(store.Write("unseen")).ok());
+  cluster_->net().HealPartition();
+  Result<std::string> r = cluster_->RunTask(store.Read());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "initial");  // stale
+  EXPECT_EQ(store.stats().stale_backup_reads, 1u);
+}
+
+TEST_F(PrimaryCopyTest, PrimaryDownBlocksEverything) {
+  PrimaryCopyStore store(client_, backups_, PrimaryCopyReadMode::kPrimary);
+  cluster_->net().FindHost("primary")->Crash();
+  SuiteClientOptions fast;
+  fast.probe_timeout = Duration::Millis(200);
+  SuiteClient* impatient = cluster_->AddClient("impatient", config_, fast);
+  PrimaryCopyStore blocked(impatient, backups_);
+  EXPECT_FALSE(cluster_->RunTask(blocked.Write("nope")).ok());
+  EXPECT_FALSE(cluster_->RunTask(blocked.Read()).ok());
+}
+
+class MajorityConsensusTest : public ::testing::Test {
+ protected:
+  MajorityConsensusTest() : sim_(1), net_(&sim_) {
+    net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(5)));
+    for (int i = 0; i < 3; ++i) {
+      Host* host = net_.AddHost("ts-" + std::to_string(i));
+      servers_.push_back(std::make_unique<TimestampServer>(&net_, host));
+      replicas_.push_back(host->id());
+    }
+    client_host_ = net_.AddHost("client");
+    client_rpc_ = std::make_unique<RpcEndpoint>(&net_, client_host_);
+    store_ = std::make_unique<MajorityConsensusStore>(client_rpc_.get(), "obj", replicas_);
+  }
+
+  Result<std::string> Read() {
+    auto out = std::make_shared<std::optional<Result<std::string>>>();
+    auto runner = [](MajorityConsensusStore* s,
+                     std::shared_ptr<std::optional<Result<std::string>>> out) -> Task<void> {
+      out->emplace(co_await s->Read());
+    };
+    Spawn(runner(store_.get(), out));
+    sim_.RunFor(Duration::Seconds(30));
+    return out->has_value() ? **out : Result<std::string>(InternalError("pending"));
+  }
+
+  Status Write(const std::string& v) {
+    auto out = std::make_shared<std::optional<Status>>();
+    auto runner = [](MajorityConsensusStore* s, std::string v,
+                     std::shared_ptr<std::optional<Status>> out) -> Task<void> {
+      *out = co_await s->Write(std::move(v));
+    };
+    Spawn(runner(store_.get(), v, out));
+    sim_.RunFor(Duration::Seconds(30));
+    return out->has_value() ? **out : InternalError("pending");
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<TimestampServer>> servers_;
+  std::vector<HostId> replicas_;
+  Host* client_host_;
+  std::unique_ptr<RpcEndpoint> client_rpc_;
+  std::unique_ptr<MajorityConsensusStore> store_;
+};
+
+TEST_F(MajorityConsensusTest, EmptyReadsAsEmpty) {
+  Result<std::string> r = Read();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "");
+}
+
+TEST_F(MajorityConsensusTest, WriteThenRead) {
+  ASSERT_TRUE(Write("hello").ok());
+  EXPECT_EQ(Read().value(), "hello");
+}
+
+TEST_F(MajorityConsensusTest, LastWriterWins) {
+  ASSERT_TRUE(Write("first").ok());
+  ASSERT_TRUE(Write("second").ok());
+  EXPECT_EQ(Read().value(), "second");
+}
+
+TEST_F(MajorityConsensusTest, SurvivesMinorityFailure) {
+  net_.FindHost("ts-2")->Crash();
+  ASSERT_TRUE(Write("despite failure").ok());
+  EXPECT_EQ(Read().value(), "despite failure");
+}
+
+TEST_F(MajorityConsensusTest, MajorityFailureBlocks) {
+  net_.FindHost("ts-1")->Crash();
+  net_.FindHost("ts-2")->Crash();
+  MajorityConsensusStore fast(client_rpc_.get(), "obj2", replicas_, Duration::Millis(200));
+  auto out = std::make_shared<std::optional<Status>>();
+  auto runner = [](MajorityConsensusStore* s,
+                   std::shared_ptr<std::optional<Status>> out) -> Task<void> {
+    *out = co_await s->Write("blocked");
+  };
+  Spawn(runner(&fast, out));
+  sim_.RunFor(Duration::Seconds(10));
+  ASSERT_TRUE(out->has_value());
+  EXPECT_EQ((*out)->code(), StatusCode::kUnavailable);
+}
+
+TEST_F(MajorityConsensusTest, StaleReplicaIgnoredByTimestamp) {
+  ASSERT_TRUE(Write("v1").ok());
+  // ts-2 misses the second write.
+  net_.FindHost("ts-2")->Crash();
+  ASSERT_TRUE(Write("v2").ok());
+  net_.FindHost("ts-2")->Restart();
+  // A majority read must return v2 even if ts-2 answers with v1.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Read().value(), "v2");
+  }
+}
+
+TEST_F(MajorityConsensusTest, ObsoleteWriteDoesNotRegress) {
+  ASSERT_TRUE(Write("newest").ok());
+  // Hand-deliver an old-timestamped write to one replica: it must refuse.
+  auto old_write = [](RpcEndpoint* rpc, HostId to,
+                      std::shared_ptr<std::optional<bool>> applied) -> Task<void> {
+    Result<TsWriteResp> r = co_await rpc->Call<TsWriteReq, TsWriteResp>(
+        to, TsWriteReq("obj", 1, "ancient"), Duration::Seconds(5));
+    if (r.ok()) {
+      *applied = r.value().applied;
+    }
+  };
+  auto applied = std::make_shared<std::optional<bool>>();
+  Spawn(old_write(client_rpc_.get(), replicas_[0], applied));
+  sim_.RunFor(Duration::Seconds(5));
+  ASSERT_TRUE(applied->has_value());
+  EXPECT_FALSE(**applied);
+  EXPECT_EQ(Read().value(), "newest");
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,107 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace wvote {
+namespace {
+
+TEST(BytesTest, ScalarRoundTrip) {
+  BufferWriter w;
+  w.WriteU8(200);
+  w.WriteU32(123456);
+  w.WriteU64(0xdeadbeefcafebabeULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.25);
+  w.WriteBool(true);
+  w.WriteBool(false);
+
+  BufferReader r(w.str());
+  EXPECT_EQ(r.ReadU8(), 200);
+  EXPECT_EQ(r.ReadU32(), 123456u);
+  EXPECT_EQ(r.ReadU64(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.25);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_FALSE(r.ReadBool());
+  EXPECT_FALSE(r.failed());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  BufferWriter w;
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string(10000, 'z'));
+
+  BufferReader r(w.str());
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), std::string(10000, 'z'));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringWithEmbeddedNuls) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  BufferWriter w;
+  w.WriteString(s);
+  BufferReader r(w.str());
+  EXPECT_EQ(r.ReadString(), s);
+}
+
+TEST(BytesTest, ReadPastEndFails) {
+  BufferWriter w;
+  w.WriteU32(7);
+  BufferReader r(w.str());
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_EQ(r.ReadU64(), 0u);  // past end: zero + failed
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, BadLengthPrefixFails) {
+  BufferWriter w;
+  w.WriteU32(1000000);  // claims a huge string, no bytes follow
+  BufferReader r(w.str());
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, FailureIsSticky) {
+  const std::string two_bytes("ab");
+  BufferReader r(two_bytes);
+  (void)r.ReadU64();
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.ReadU8(), 0);
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(BytesTest, EmptyBufferAtEnd) {
+  // BufferReader holds a reference; the buffer must outlive it.
+  const std::string empty;
+  BufferReader r(empty);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(BytesTest, TakeMovesBuffer) {
+  BufferWriter w;
+  w.WriteString("payload");
+  std::string taken = w.Take();
+  EXPECT_FALSE(taken.empty());
+}
+
+TEST(Fnv1aTest, KnownValues) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  // Different inputs hash differently.
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+  EXPECT_NE(Fnv1a64("ab"), Fnv1a64("ba"));
+}
+
+TEST(Fnv1aTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64("stable storage"), Fnv1a64("stable storage"));
+}
+
+}  // namespace
+}  // namespace wvote

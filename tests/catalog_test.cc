@@ -1,0 +1,125 @@
+// SuiteCatalog: runtime creation, opening, and discovery of suites.
+
+#include "src/core/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace wvote {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    for (int i = 0; i < 3; ++i) {
+      cluster_->AddRepresentative("rep-" + std::to_string(i));
+    }
+    // A client stack without any pre-bootstrapped suite: we open a throwaway
+    // suite config purely to materialize the host's rpc/coordinator stack.
+    bootstrap_config_ = SuiteConfig::MakeUniform("seed", {"rep-0"}, 1, 1);
+    seed_client_ = cluster_->AddClient("app", bootstrap_config_);
+    catalog_ = std::make_unique<SuiteCatalog>(&cluster_->net(), seed_client_->rpc(),
+                                              cluster_->coordinator_of("app"));
+  }
+
+  SuiteConfig ThreeRep(const std::string& name, int r = 2, int w = 2) {
+    return SuiteConfig::MakeUniform(name, {"rep-0", "rep-1", "rep-2"}, r, w);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  SuiteConfig bootstrap_config_;
+  SuiteClient* seed_client_ = nullptr;
+  std::unique_ptr<SuiteCatalog> catalog_;
+};
+
+TEST_F(CatalogTest, CreateThenUse) {
+  SuiteConfig config = ThreeRep("docs");
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "first contents")).ok());
+  SuiteClient* client = catalog_->Open(config);
+  Result<std::string> r = cluster_->RunTask(client->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "first contents");
+  EXPECT_TRUE(cluster_->RunTask(client->WriteOnce("updated")).ok());
+}
+
+TEST_F(CatalogTest, CreateValidatesConfig) {
+  SuiteConfig bad = ThreeRep("bad", 1, 1);  // 2w <= V
+  EXPECT_EQ(cluster_->RunTask(catalog_->Create(bad, "x")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, CreateFailsWithMemberDown) {
+  cluster_->net().FindHost("rep-2")->Crash();
+  Status st = cluster_->RunTask(catalog_->Create(ThreeRep("degraded"), "x"));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(CatalogTest, CreateIsIdempotent) {
+  SuiteConfig config = ThreeRep("twice");
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "original")).ok());
+  SuiteClient* client = catalog_->Open(config);
+  ASSERT_TRUE(cluster_->RunTask(client->WriteOnce("modified")).ok());
+
+  // Re-creating must not clobber the live data.
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "original")).ok());
+  Result<std::string> r = cluster_->RunTask(client->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "modified");
+}
+
+TEST_F(CatalogTest, RetryAfterPartialCreateCompletes) {
+  cluster_->net().FindHost("rep-2")->Crash();
+  SuiteConfig config = ThreeRep("partial");
+  ASSERT_FALSE(cluster_->RunTask(catalog_->Create(config, "x")).ok());
+  cluster_->net().FindHost("rep-2")->Restart();
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "x")).ok());
+  EXPECT_EQ(cluster_->RunTask(catalog_->Open(config)->ReadOnce()).value(), "x");
+}
+
+TEST_F(CatalogTest, OpenReturnsSameClientPerSuite) {
+  SuiteConfig config = ThreeRep("shared");
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "x")).ok());
+  EXPECT_EQ(catalog_->Open(config), catalog_->Open(config));
+  EXPECT_EQ(catalog_->OpenSuites(), std::vector<std::string>{"shared"});
+}
+
+TEST_F(CatalogTest, DiscoverByNameAndHint) {
+  SuiteConfig config = ThreeRep("findme", 1, 3);
+  ASSERT_TRUE(cluster_->RunTask(catalog_->Create(config, "discovered contents")).ok());
+
+  // A different application host knows only the suite name and one member.
+  SuiteClient* other_seed = cluster_->AddClient("app-2", bootstrap_config_);
+  SuiteCatalog other_catalog(&cluster_->net(), other_seed->rpc(),
+                             cluster_->coordinator_of("app-2"));
+  Result<SuiteClient*> found =
+      cluster_->RunTask(other_catalog.Discover("findme", "rep-1"));
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_EQ(found.value()->config().read_quorum, 1);
+  EXPECT_EQ(found.value()->config().write_quorum, 3);
+  Result<std::string> r = cluster_->RunTask(found.value()->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "discovered contents");
+}
+
+TEST_F(CatalogTest, DiscoverUnknownSuiteFails) {
+  Result<SuiteClient*> found = cluster_->RunTask(catalog_->Discover("ghost", "rep-0"));
+  EXPECT_FALSE(found.ok());
+}
+
+TEST_F(CatalogTest, ManySuitesCoexistOnSharedRepresentatives) {
+  for (int i = 0; i < 8; ++i) {
+    SuiteConfig config = ThreeRep("multi-" + std::to_string(i));
+    ASSERT_TRUE(
+        cluster_->RunTask(catalog_->Create(config, "data-" + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 8; ++i) {
+    SuiteClient* client = catalog_->Open(ThreeRep("multi-" + std::to_string(i)));
+    EXPECT_EQ(cluster_->RunTask(client->ReadOnce()).value(), "data-" + std::to_string(i));
+  }
+  EXPECT_EQ(catalog_->OpenSuites().size(), 8u);
+}
+
+}  // namespace
+}  // namespace wvote

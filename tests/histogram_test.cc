@@ -1,0 +1,98 @@
+#include "src/workload/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace wvote {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), Duration::Zero());
+  EXPECT_EQ(h.Percentile(50), Duration::Zero());
+}
+
+TEST(HistogramTest, SingleSample) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(42));
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.Mean(), Duration::Millis(42));
+  EXPECT_EQ(h.Min(), Duration::Millis(42));
+  EXPECT_EQ(h.Max(), Duration::Millis(42));
+  // Bucketed percentile is within one bucket width (~1.1%) of the value.
+  EXPECT_NEAR(h.Percentile(50).ToMillis(), 42.0, 1.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  for (int ms : {10, 20, 30, 40}) {
+    h.Record(Duration::Millis(ms));
+  }
+  EXPECT_EQ(h.Mean(), Duration::Millis(25));
+}
+
+TEST(HistogramTest, PercentilesAreOrdered) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Record(Duration::Micros(i * 100));
+  }
+  EXPECT_LE(h.Percentile(10), h.Percentile(50));
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Max());
+  // Median of uniform 0.1..100ms is ~50ms (within bucket resolution).
+  EXPECT_NEAR(h.Percentile(50).ToMillis(), 50.0, 2.0);
+}
+
+TEST(HistogramTest, PercentileClampsDomain) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(5));
+  EXPECT_EQ(h.Percentile(-10), h.Percentile(0));
+  EXPECT_EQ(h.Percentile(200), h.Percentile(100));
+}
+
+TEST(HistogramTest, ZeroAndHugeSamplesLandInEdgeBuckets) {
+  LatencyHistogram h;
+  h.Record(Duration::Zero());
+  h.Record(Duration::Seconds(100000));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.Min(), Duration::Zero());
+}
+
+TEST(HistogramTest, MergeCombines) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.Record(Duration::Millis(10));
+  b.Record(Duration::Millis(30));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Mean(), Duration::Millis(20));
+  EXPECT_EQ(a.Min(), Duration::Millis(10));
+  EXPECT_EQ(a.Max(), Duration::Millis(30));
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  b.Record(Duration::Millis(7));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Min(), Duration::Millis(7));
+  EXPECT_EQ(a.Max(), Duration::Millis(7));
+}
+
+TEST(HistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), Duration::Zero());
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,244 @@
+// Lock manager: strict 2PL modes, wait-die, upgrades, timeouts, crash clear.
+
+#include "src/txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+namespace wvote {
+namespace {
+
+TxnId MakeTxn(int64_t ts, uint64_t serial = 0) {
+  TxnId txn;
+  txn.timestamp_us = ts;
+  txn.serial = serial;
+  txn.coordinator = 0;
+  return txn;
+}
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : sim_(1), locks_(&sim_) {}
+
+  // Starts an acquire; returns a holder for its eventual status (empty while
+  // the acquire is still waiting).
+  std::shared_ptr<std::optional<Status>> Acquire(TxnId txn, const std::string& key,
+                                                 LockMode mode,
+                                                 Duration timeout = Duration::Seconds(10)) {
+    auto out = std::make_shared<std::optional<Status>>();
+    auto runner = [](LockManager* locks, TxnId txn, std::string key, LockMode mode,
+                     Duration timeout,
+                     std::shared_ptr<std::optional<Status>> out) -> Task<void> {
+      *out = co_await locks->Acquire(txn, std::move(key), mode, timeout);
+    };
+    Spawn(runner(&locks_, txn, key, mode, timeout, out));
+    return out;
+  }
+
+  static bool Pending(const std::shared_ptr<std::optional<Status>>& r) {
+    return !r->has_value();
+  }
+  static bool Granted(const std::shared_ptr<std::optional<Status>>& r) {
+    return r->has_value() && (*r)->ok();
+  }
+
+  Simulator sim_;
+  LockManager locks_;
+};
+
+TEST_F(LockManagerTest, ExclusiveGrantsImmediately) {
+  auto r = Acquire(MakeTxn(1), "k", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_TRUE(Granted(r));
+  EXPECT_TRUE(locks_.Holds(MakeTxn(1), "k", LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  auto r1 = Acquire(MakeTxn(1), "k", LockMode::kShared);
+  auto r2 = Acquire(MakeTxn(2), "k", LockMode::kShared);
+  auto r3 = Acquire(MakeTxn(3), "k", LockMode::kShared);
+  sim_.Run();
+  EXPECT_TRUE(Granted(r1));
+  EXPECT_TRUE(Granted(r2));
+  EXPECT_TRUE(Granted(r3));
+}
+
+TEST_F(LockManagerTest, ReentrantAcquireIsNoOp) {
+  auto r1 = Acquire(MakeTxn(1), "k", LockMode::kShared);
+  auto r2 = Acquire(MakeTxn(1), "k", LockMode::kShared);
+  sim_.Run();
+  EXPECT_TRUE(Granted(r1));
+  EXPECT_TRUE(Granted(r2));
+  EXPECT_EQ(locks_.stats().grants_immediate, 1u);  // second was reentry
+}
+
+TEST_F(LockManagerTest, OlderWaitsForYoungerHolder) {
+  auto young = Acquire(MakeTxn(200), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  ASSERT_TRUE(Granted(young));
+
+  auto old = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(old));  // waiting, not refused
+
+  locks_.ReleaseAll(MakeTxn(200));
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(old));
+  EXPECT_EQ(locks_.stats().grants_after_wait, 1u);
+}
+
+TEST_F(LockManagerTest, YoungerDiesOnConflict) {
+  auto old = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  sim_.Run();
+  ASSERT_TRUE(Granted(old));
+
+  auto young = Acquire(MakeTxn(200), "k", LockMode::kExclusive);
+  sim_.Run();
+  ASSERT_TRUE(young->has_value());
+  EXPECT_EQ((*young)->code(), StatusCode::kConflict);
+  EXPECT_EQ(locks_.stats().dies, 1u);
+}
+
+TEST_F(LockManagerTest, SharedVersusExclusiveConflicts) {
+  auto s = Acquire(MakeTxn(100), "k", LockMode::kShared);
+  sim_.Run();
+  ASSERT_TRUE(Granted(s));
+  auto x_young = Acquire(MakeTxn(200), "k", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_EQ((*x_young)->code(), StatusCode::kConflict);
+}
+
+TEST_F(LockManagerTest, UpgradeWhenSoleHolder) {
+  auto s = Acquire(MakeTxn(1), "k", LockMode::kShared);
+  sim_.Run();
+  ASSERT_TRUE(Granted(s));
+  auto x = Acquire(MakeTxn(1), "k", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_TRUE(Granted(x));
+  EXPECT_TRUE(locks_.Holds(MakeTxn(1), "k", LockMode::kExclusive));
+  EXPECT_EQ(locks_.stats().upgrades, 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherReadersToDrain) {
+  auto s_old = Acquire(MakeTxn(100), "k", LockMode::kShared);
+  auto s_young = Acquire(MakeTxn(200), "k", LockMode::kShared);
+  sim_.RunFor(Duration::Millis(100));
+  ASSERT_TRUE(Granted(s_old));
+  ASSERT_TRUE(Granted(s_young));
+
+  // The older transaction upgrades; it must wait for the younger reader.
+  auto upgrade = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(upgrade));
+
+  locks_.ReleaseAll(MakeTxn(200));
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(upgrade));
+  EXPECT_TRUE(locks_.Holds(MakeTxn(100), "k", LockMode::kExclusive));
+}
+
+TEST_F(LockManagerTest, WaitTimesOut) {
+  auto young = Acquire(MakeTxn(200), "k", LockMode::kExclusive);
+  sim_.Run();
+  ASSERT_TRUE(Granted(young));
+  auto old = Acquire(MakeTxn(100), "k", LockMode::kExclusive, Duration::Millis(50));
+  sim_.Run();
+  ASSERT_TRUE(old->has_value());
+  EXPECT_EQ((*old)->code(), StatusCode::kTimeout);
+  EXPECT_EQ(locks_.stats().timeouts, 1u);
+}
+
+TEST_F(LockManagerTest, ReleaseWakesFifo) {
+  auto holder = Acquire(MakeTxn(300), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  auto w1 = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  auto w2 = Acquire(MakeTxn(200), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(w1));
+  // w2 (ts=200) is younger than holder (ts=300)? No: 200 < 300, so it waits.
+  EXPECT_TRUE(Pending(w2));
+
+  locks_.ReleaseAll(MakeTxn(300));
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(w1));  // FIFO: first waiter gets X
+  // w2 (ts=200) is now younger than the new holder (ts=100): the regrant
+  // wait-die check kills it rather than let it wait on an older holder.
+  ASSERT_TRUE(w2->has_value());
+  EXPECT_EQ((*w2)->code(), StatusCode::kConflict);
+}
+
+TEST_F(LockManagerTest, ReleaseGrantsSharedBatch) {
+  auto holder = Acquire(MakeTxn(300), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  auto s1 = Acquire(MakeTxn(100), "k", LockMode::kShared);
+  auto s2 = Acquire(MakeTxn(200), "k", LockMode::kShared);
+  sim_.RunFor(Duration::Millis(100));
+  locks_.ReleaseAll(MakeTxn(300));
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(s1));
+  EXPECT_TRUE(Granted(s2));  // both shared waiters granted together
+}
+
+TEST_F(LockManagerTest, ReleaseAllCoversMultipleKeys) {
+  auto a = Acquire(MakeTxn(1), "a", LockMode::kExclusive);
+  auto b = Acquire(MakeTxn(1), "b", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_EQ(locks_.num_locked_keys(), 2u);
+  locks_.ReleaseAll(MakeTxn(1));
+  EXPECT_EQ(locks_.num_locked_keys(), 0u);
+}
+
+TEST_F(LockManagerTest, ReleasingWaiterAbortsItsWait) {
+  auto holder = Acquire(MakeTxn(300), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  auto waiter = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(waiter));
+  locks_.ReleaseAll(MakeTxn(100));  // the waiting txn itself aborts
+  sim_.RunFor(Duration::Millis(100));
+  ASSERT_TRUE(waiter->has_value());
+  EXPECT_EQ((*waiter)->code(), StatusCode::kAborted);
+}
+
+TEST_F(LockManagerTest, ClearAbortsEverything) {
+  auto holder = Acquire(MakeTxn(300), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  auto waiter = Acquire(MakeTxn(100), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  locks_.Clear();
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_EQ((*waiter)->code(), StatusCode::kAborted);
+  EXPECT_EQ(locks_.num_locked_keys(), 0u);
+  EXPECT_FALSE(locks_.Holds(MakeTxn(300), "k", LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, HoldsDistinguishesModes) {
+  auto s = Acquire(MakeTxn(1), "k", LockMode::kShared);
+  sim_.Run();
+  EXPECT_TRUE(locks_.Holds(MakeTxn(1), "k", LockMode::kShared));
+  EXPECT_FALSE(locks_.Holds(MakeTxn(1), "k", LockMode::kExclusive));
+  EXPECT_FALSE(locks_.Holds(MakeTxn(2), "k", LockMode::kShared));
+}
+
+TEST_F(LockManagerTest, TieBreaksBySerialAndCoordinator) {
+  TxnId a = MakeTxn(100, 1);
+  TxnId b = MakeTxn(100, 2);  // same timestamp, higher serial -> younger
+  auto ra = Acquire(a, "k", LockMode::kExclusive);
+  sim_.Run();
+  auto rb = Acquire(b, "k", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_EQ((*rb)->code(), StatusCode::kConflict);  // b is younger: dies
+}
+
+TEST_F(LockManagerTest, DistinctKeysDoNotConflict) {
+  auto a = Acquire(MakeTxn(1), "a", LockMode::kExclusive);
+  auto b = Acquire(MakeTxn(2), "b", LockMode::kExclusive);
+  sim_.Run();
+  EXPECT_TRUE(Granted(a));
+  EXPECT_TRUE(Granted(b));
+}
+
+}  // namespace
+}  // namespace wvote

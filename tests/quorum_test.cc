@@ -1,0 +1,159 @@
+// Quorum planner: strategy orderings plus the optimality property of greedy
+// selection for the max-latency objective, checked against brute force over
+// randomized configurations.
+
+#include "src/core/quorum.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/sim/random.h"
+
+namespace wvote {
+namespace {
+
+SuiteConfig MakeConfig(std::vector<std::pair<std::string, int>> reps, int r, int w) {
+  SuiteConfig cfg;
+  cfg.suite_name = "q";
+  for (auto& [name, votes] : reps) {
+    cfg.AddRepresentative(name, votes);
+  }
+  cfg.read_quorum = r;
+  cfg.write_quorum = w;
+  return cfg;
+}
+
+std::function<Duration(const std::string&)> LatencyMap(
+    std::map<std::string, Duration> latencies) {
+  return [latencies](const std::string& name) { return latencies.at(name); };
+}
+
+TEST(QuorumPlannerTest, LowestLatencyOrdersByLatency) {
+  SuiteConfig cfg = MakeConfig({{"slow", 1}, {"fast", 1}, {"mid", 1}}, 2, 2);
+  QuorumPlanner planner(cfg, LatencyMap({{"slow", Duration::Millis(100)},
+                                         {"fast", Duration::Millis(1)},
+                                         {"mid", Duration::Millis(50)}}));
+  auto plan = planner.Plan(2, QuorumStrategy::kLowestLatency);
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].host_name, "fast");
+  EXPECT_EQ(plan[1].host_name, "mid");
+  EXPECT_EQ(plan[2].host_name, "slow");
+}
+
+TEST(QuorumPlannerTest, FewestMessagesOrdersByVotes) {
+  SuiteConfig cfg = MakeConfig({{"small", 1}, {"big", 3}, {"mid", 2}}, 3, 4);
+  QuorumPlanner planner(cfg, LatencyMap({{"small", Duration::Millis(1)},
+                                         {"big", Duration::Millis(100)},
+                                         {"mid", Duration::Millis(50)}}));
+  auto plan = planner.Plan(3, QuorumStrategy::kFewestMessages);
+  EXPECT_EQ(plan[0].host_name, "big");
+  EXPECT_EQ(plan[1].host_name, "mid");
+  EXPECT_EQ(plan[2].host_name, "small");
+}
+
+TEST(QuorumPlannerTest, WeakRepresentativesExcluded) {
+  SuiteConfig cfg;
+  cfg.suite_name = "q";
+  cfg.AddRepresentative("voter", 1);
+  cfg.AddWeakRepresentative("cache");
+  cfg.read_quorum = 1;
+  cfg.write_quorum = 1;
+  QuorumPlanner planner(cfg, LatencyMap({{"voter", Duration::Millis(10)},
+                                         {"cache", Duration::Millis(1)}}));
+  auto plan = planner.Plan(1, QuorumStrategy::kBroadcast);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].host_name, "voter");
+}
+
+TEST(QuorumPlannerTest, LatencyTiesBrokenByVotes) {
+  SuiteConfig cfg = MakeConfig({{"one", 1}, {"three", 3}}, 2, 3);
+  QuorumPlanner planner(cfg, LatencyMap({{"one", Duration::Millis(5)},
+                                         {"three", Duration::Millis(5)}}));
+  auto plan = planner.Plan(2, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(plan[0].host_name, "three");  // more votes per probe first
+}
+
+TEST(QuorumPlannerTest, PrefixCountFindsMinimalPrefix) {
+  SuiteConfig cfg = MakeConfig({{"a", 2}, {"b", 1}, {"c", 1}}, 3, 3);
+  QuorumPlanner planner(cfg, LatencyMap({{"a", Duration::Millis(1)},
+                                         {"b", Duration::Millis(2)},
+                                         {"c", Duration::Millis(3)}}));
+  auto plan = planner.Plan(3, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(QuorumPlanner::PrefixCount(plan, 1), 1u);
+  EXPECT_EQ(QuorumPlanner::PrefixCount(plan, 3), 2u);
+  EXPECT_EQ(QuorumPlanner::PrefixCount(plan, 4), 3u);
+  EXPECT_EQ(QuorumPlanner::PrefixCount(plan, 5), 0u);  // unreachable
+}
+
+TEST(QuorumPlannerTest, PrefixLatencyIsMaxOfPrefix) {
+  SuiteConfig cfg = MakeConfig({{"a", 1}, {"b", 1}}, 1, 2);
+  QuorumPlanner planner(cfg, LatencyMap({{"a", Duration::Millis(10)},
+                                         {"b", Duration::Millis(30)}}));
+  auto plan = planner.Plan(2, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(QuorumPlanner::PrefixLatency(plan, 1), Duration::Millis(10));
+  EXPECT_EQ(QuorumPlanner::PrefixLatency(plan, 2), Duration::Millis(30));
+}
+
+// Property: for the max-latency objective, the greedy (ascending latency)
+// prefix is optimal — no subset of representatives with enough votes has a
+// smaller maximum latency. Brute-forced over random configurations.
+class GreedyOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(GreedyOptimality, GreedyPrefixMatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.NextInRange(1, 10));
+    SuiteConfig cfg;
+    cfg.suite_name = "q";
+    std::map<std::string, Duration> latencies;
+    int total_votes = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::string name = "r" + std::to_string(i);
+      const int votes = static_cast<int>(rng.NextInRange(1, 4));
+      cfg.AddRepresentative(name, votes);
+      latencies[name] = Duration::Micros(rng.NextInRange(1, 1000));
+      total_votes += votes;
+    }
+    const int required = static_cast<int>(rng.NextInRange(1, total_votes));
+    cfg.read_quorum = 1;  // validation not exercised here
+    cfg.write_quorum = total_votes;
+
+    QuorumPlanner planner(cfg, LatencyMap(latencies));
+    auto plan = planner.Plan(required, QuorumStrategy::kLowestLatency);
+    const size_t k = QuorumPlanner::PrefixCount(plan, required);
+    ASSERT_GT(k, 0u);
+    const Duration greedy = QuorumPlanner::PrefixLatency(plan, k);
+
+    // Brute force: minimum over all subsets with enough votes of the
+    // subset's max latency.
+    Duration best = Duration::Infinite();
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      int votes = 0;
+      Duration worst = Duration::Zero();
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          votes += cfg.representatives[static_cast<size_t>(i)].votes;
+          worst = std::max(worst,
+                           latencies["r" + std::to_string(i)]);
+        }
+      }
+      if (votes >= required) {
+        best = std::min(best, worst);
+      }
+    }
+    EXPECT_EQ(greedy, best) << "trial " << trial << " n=" << n << " required=" << required;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyOptimality, ::testing::Range(1, 9));
+
+TEST(QuorumStrategyTest, NamesAreStable) {
+  EXPECT_STREQ(QuorumStrategyName(QuorumStrategy::kLowestLatency), "lowest-latency");
+  EXPECT_STREQ(QuorumStrategyName(QuorumStrategy::kFewestMessages), "fewest-messages");
+  EXPECT_STREQ(QuorumStrategyName(QuorumStrategy::kBroadcast), "broadcast");
+}
+
+}  // namespace
+}  // namespace wvote

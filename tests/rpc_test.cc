@@ -1,0 +1,204 @@
+// RPC layer: request/response, timeouts, retransmission, crash semantics.
+
+#include "src/rpc/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace wvote {
+namespace {
+
+struct EchoReq {
+  std::string text;
+  EchoReq() = default;
+  explicit EchoReq(std::string t) : text(std::move(t)) {}
+};
+struct EchoResp {
+  std::string text;
+  EchoResp() = default;
+  explicit EchoResp(std::string t) : text(std::move(t)) {}
+};
+struct SlowReq {
+  int delay_ms = 0;
+  SlowReq() = default;
+  explicit SlowReq(int d) : delay_ms(d) {}
+};
+struct CountReq {
+  CountReq() = default;
+};
+struct CountResp {
+  int count = 0;
+  CountResp() = default;
+  explicit CountResp(int c) : count(c) {}
+};
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() : sim_(1), net_(&sim_) {
+    net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(5)));
+    server_host_ = net_.AddHost("server");
+    client_host_ = net_.AddHost("client");
+    server_ = std::make_unique<RpcEndpoint>(&net_, server_host_);
+    client_ = std::make_unique<RpcEndpoint>(&net_, client_host_);
+
+    server_->Handle<EchoReq, EchoResp>(
+        [](HostId from, EchoReq req) -> Task<Result<EchoResp>> {
+          co_return EchoResp(req.text + "!");
+        });
+    server_->Handle<SlowReq, EchoResp>(
+        [this](HostId from, SlowReq req) -> Task<Result<EchoResp>> {
+          co_await sim_.Sleep(Duration::Millis(req.delay_ms));
+          co_return EchoResp("slow done");
+        });
+    server_->Handle<CountReq, CountResp>(
+        [this](HostId from, CountReq) -> Task<Result<CountResp>> {
+          co_return CountResp(++count_);
+        });
+  }
+
+  template <typename Req, typename Resp>
+  Result<Resp> Call(Req req, Duration timeout) {
+    auto out = std::make_shared<Result<Resp>>(InternalError("pending"));
+    auto runner = [](RpcEndpoint* client, HostId to, Req req, Duration timeout,
+                     std::shared_ptr<Result<Resp>> out) -> Task<void> {
+      *out = co_await client->Call<Req, Resp>(to, std::move(req), timeout);
+    };
+    Spawn(runner(client_.get(), server_host_->id(), std::move(req), timeout, out));
+    sim_.Run();
+    return *out;
+  }
+
+  Simulator sim_;
+  Network net_;
+  Host* server_host_;
+  Host* client_host_;
+  std::unique_ptr<RpcEndpoint> server_;
+  std::unique_ptr<RpcEndpoint> client_;
+  int count_ = 0;
+};
+
+TEST_F(RpcTest, RoundTrip) {
+  Result<EchoResp> r = Call<EchoReq, EchoResp>(EchoReq("hi"), Duration::Seconds(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().text, "hi!");
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(10));  // two 5ms hops
+}
+
+TEST_F(RpcTest, SlowHandlerIncludesProcessingTime) {
+  Result<EchoResp> r = Call<SlowReq, EchoResp>(SlowReq(100), Duration::Seconds(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(110));
+}
+
+TEST_F(RpcTest, TimesOutWhenServerTooSlow) {
+  Result<EchoResp> r = Call<SlowReq, EchoResp>(SlowReq(5000), Duration::Millis(50));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, TimesOutWhenServerDown) {
+  server_host_->Crash();
+  Result<EchoResp> r = Call<EchoReq, EchoResp>(EchoReq("x"), Duration::Millis(50));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, ServerCrashMidHandlerMeansTimeout) {
+  sim_.Schedule(Duration::Millis(20), [this] { server_host_->Crash(); });
+  Result<EchoResp> r = Call<SlowReq, EchoResp>(SlowReq(100), Duration::Millis(500));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, UnknownRequestTypeTimesOut) {
+  struct UnknownReq {};
+  Result<EchoResp> r = Call<UnknownReq, EchoResp>(UnknownReq{}, Duration::Millis(50));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(RpcTest, CallerDownAborts) {
+  client_host_->Crash();
+  Result<EchoResp> r = Call<EchoReq, EchoResp>(EchoReq("x"), Duration::Millis(50));
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(RpcTest, ClientCrashAbortsOutstandingCalls) {
+  auto out = std::make_shared<Result<EchoResp>>(InternalError("pending"));
+  auto runner = [](RpcEndpoint* client, HostId to,
+                   std::shared_ptr<Result<EchoResp>> out) -> Task<void> {
+    *out = co_await client->Call<SlowReq, EchoResp>(to, SlowReq(1000), Duration::Seconds(10));
+  };
+  Spawn(runner(client_.get(), server_host_->id(), out));
+  sim_.Schedule(Duration::Millis(20), [this] { client_host_->Crash(); });
+  sim_.Run();
+  EXPECT_EQ(out->status().code(), StatusCode::kAborted);
+}
+
+TEST_F(RpcTest, RetrySucceedsAfterTransientServerOutage) {
+  server_host_->Crash();
+  sim_.Schedule(Duration::Millis(120), [this] { server_host_->Restart(); });
+  auto out = std::make_shared<Result<EchoResp>>(InternalError("pending"));
+  auto runner = [](RpcEndpoint* client, HostId to,
+                   std::shared_ptr<Result<EchoResp>> out) -> Task<void> {
+    *out = co_await client->CallWithRetry<EchoReq, EchoResp>(to, EchoReq("r"),
+                                                             Duration::Millis(100),
+                                                             /*attempts=*/5);
+  };
+  Spawn(runner(client_.get(), server_host_->id(), out));
+  sim_.Run();
+  ASSERT_TRUE(out->ok());
+  EXPECT_EQ(out->value().text, "r!");
+}
+
+TEST_F(RpcTest, RetryGivesUpAfterAttempts) {
+  server_host_->Crash();
+  auto out = std::make_shared<Result<EchoResp>>(InternalError("pending"));
+  auto runner = [](RpcEndpoint* client, HostId to,
+                   std::shared_ptr<Result<EchoResp>> out) -> Task<void> {
+    *out = co_await client->CallWithRetry<EchoReq, EchoResp>(to, EchoReq("r"),
+                                                             Duration::Millis(50),
+                                                             /*attempts=*/3);
+  };
+  Spawn(runner(client_.get(), server_host_->id(), out));
+  sim_.Run();
+  EXPECT_EQ(out->status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(client_->stats().calls_timeout, 3u);
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelateCorrectly) {
+  auto out1 = std::make_shared<Result<EchoResp>>(InternalError("pending"));
+  auto out2 = std::make_shared<Result<EchoResp>>(InternalError("pending"));
+  auto runner = [](RpcEndpoint* client, HostId to, std::string text,
+                   std::shared_ptr<Result<EchoResp>> out) -> Task<void> {
+    *out = co_await client->Call<EchoReq, EchoResp>(to, EchoReq(std::move(text)),
+                                                    Duration::Seconds(1));
+  };
+  Spawn(runner(client_.get(), server_host_->id(), "one", out1));
+  Spawn(runner(client_.get(), server_host_->id(), "two", out2));
+  sim_.Run();
+  EXPECT_EQ(out1->value().text, "one!");
+  EXPECT_EQ(out2->value().text, "two!");
+}
+
+TEST_F(RpcTest, HandlerRunsOncePerRequest) {
+  (void)Call<CountReq, CountResp>(CountReq{}, Duration::Seconds(1));
+  Result<CountResp> r = Call<CountReq, CountResp>(CountReq{}, Duration::Seconds(1));
+  EXPECT_EQ(r.value().count, 2);
+  EXPECT_EQ(server_->stats().requests_handled, 2u);
+}
+
+TEST_F(RpcTest, StatsDistinguishOutcomes) {
+  (void)Call<EchoReq, EchoResp>(EchoReq("a"), Duration::Seconds(1));
+  (void)Call<SlowReq, EchoResp>(SlowReq(5000), Duration::Millis(10));
+  EXPECT_EQ(client_->stats().calls_ok, 1u);
+  EXPECT_EQ(client_->stats().calls_timeout, 1u);
+}
+
+TEST_F(RpcTest, DuplicateHandlerRegistrationAborts) {
+  std::function<Task<Result<EchoResp>>(HostId, EchoReq)> handler =
+      [](HostId, EchoReq) -> Task<Result<EchoResp>> { co_return EchoResp(""); };
+  auto reregister = [&] { server_->Handle<EchoReq, EchoResp>(handler); };
+  EXPECT_DEATH(reregister(), "duplicate");
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,137 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wvote {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.Now(), TimePoint());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorTest, EventsRunInTimestampOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.Schedule(Duration::Millis(30), [&] { order.push_back(3); });
+  sim.Schedule(Duration::Millis(10), [&] { order.push_back(1); });
+  sim.Schedule(Duration::Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), TimePoint() + Duration::Millis(30));
+}
+
+TEST(SimulatorTest, TiesRunInScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Duration::Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ClockAdvancesOnlyThroughEvents) {
+  Simulator sim(1);
+  sim.Schedule(Duration::Millis(10), [&] { EXPECT_EQ(sim.Now().ToMicros(), 10000); });
+  sim.Schedule(Duration::Millis(50), [&] { EXPECT_EQ(sim.Now().ToMicros(), 50000); });
+  sim.Run();
+}
+
+TEST(SimulatorTest, EventsMayScheduleEvents) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(Duration::Millis(1), [&] {
+    sim.Schedule(Duration::Millis(1), [&] {
+      ++fired;
+      sim.Schedule(Duration::Millis(1), [&] { ++fired; });
+    });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim(1);
+  bool ran = false;
+  EventHandle handle = sim.Schedule(Duration::Millis(5), [&] { ran = true; });
+  handle.Cancel();
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelAfterRunIsHarmless) {
+  Simulator sim(1);
+  EventHandle handle = sim.Schedule(Duration::Millis(5), [] {});
+  sim.Run();
+  handle.Cancel();  // no crash
+}
+
+TEST(SimulatorTest, DefaultEventHandleIsInert) {
+  EventHandle handle;
+  handle.Cancel();  // no crash
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(Duration::Millis(10), [&] { ++fired; });
+  sim.Schedule(Duration::Millis(30), [&] { ++fired; });
+  const size_t n = sim.RunUntil(TimePoint() + Duration::Millis(20));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), TimePoint() + Duration::Millis(20));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilInclusiveOfBoundary) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(Duration::Millis(20), [&] { ++fired; });
+  sim.RunUntil(TimePoint() + Duration::Millis(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, RunForIsRelative) {
+  Simulator sim(1);
+  sim.RunFor(Duration::Millis(10));
+  sim.RunFor(Duration::Millis(10));
+  EXPECT_EQ(sim.Now(), TimePoint() + Duration::Millis(20));
+}
+
+TEST(SimulatorTest, StepOneProcessesExactlyOne) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.Schedule(Duration::Millis(1), [&] { ++fired; });
+  sim.Schedule(Duration::Millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.StepOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.StepOne());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.StepOne());
+}
+
+TEST(SimulatorTest, PendingCount) {
+  Simulator sim(1);
+  sim.Schedule(Duration::Millis(1), [] {});
+  sim.Schedule(Duration::Millis(2), [] {});
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.Run();
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim(1);
+  sim.RunFor(Duration::Millis(10));
+  EXPECT_DEATH(sim.ScheduleAt(TimePoint() + Duration::Millis(5), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace wvote

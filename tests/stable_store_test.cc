@@ -1,0 +1,166 @@
+// Stable storage: crash-atomicity of the two-slot careful-write scheme.
+
+#include "src/storage/stable_store.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace wvote {
+namespace {
+
+class StableStoreTest : public ::testing::Test {
+ protected:
+  StableStoreTest()
+      : sim_(1),
+        net_(&sim_),
+        host_(net_.AddHost("disk-host")),
+        store_(&sim_, host_, LatencyModel::Fixed(Duration::Millis(10)),
+               LatencyModel::Fixed(Duration::Millis(5))) {}
+
+  Status RunWrite(const std::string& key, const std::string& value) {
+    auto holder = std::make_shared<Status>(InternalError("pending"));
+    Spawn(CaptureWrite(&store_, key, value, holder));
+    sim_.Run();
+    return *holder;
+  }
+
+  Result<std::string> RunRead(const std::string& key) {
+    auto holder = std::make_shared<Result<std::string>>(InternalError("pending"));
+    Spawn(CaptureRead(&store_, key, holder));
+    sim_.Run();
+    return *holder;
+  }
+
+  static Task<void> CaptureWrite(StableStore* store, std::string key, std::string value,
+                                 std::shared_ptr<Status> out) {
+    *out = co_await store->Write(std::move(key), std::move(value));
+  }
+  static Task<void> CaptureRead(StableStore* store, std::string key,
+                                std::shared_ptr<Result<std::string>> out) {
+    *out = co_await store->Read(std::move(key));
+  }
+
+  Simulator sim_;
+  Network net_;
+  Host* host_;
+  StableStore store_;
+};
+
+TEST_F(StableStoreTest, WriteThenReadRoundTrip) {
+  EXPECT_TRUE(RunWrite("k", "value-1").ok());
+  Result<std::string> r = RunRead("k");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "value-1");
+}
+
+TEST_F(StableStoreTest, OverwriteKeepsLatest) {
+  ASSERT_TRUE(RunWrite("k", "v1").ok());
+  ASSERT_TRUE(RunWrite("k", "v2").ok());
+  ASSERT_TRUE(RunWrite("k", "v3").ok());
+  EXPECT_EQ(RunRead("k").value(), "v3");
+}
+
+TEST_F(StableStoreTest, MissingKeyIsNotFound) {
+  EXPECT_EQ(RunRead("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_.ReadCommitted("ghost").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(store_.Contains("ghost"));
+}
+
+TEST_F(StableStoreTest, CrashDuringWritePreservesOldValue) {
+  ASSERT_TRUE(RunWrite("k", "stable").ok());
+
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "k", "torn", status));
+  sim_.Schedule(Duration::Millis(5), [this] { host_->Crash(); });  // mid-write
+  sim_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kAborted);
+  EXPECT_EQ(store_.stats().writes_torn, 1u);
+
+  host_->Restart();
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "stable");
+}
+
+TEST_F(StableStoreTest, CrashDuringFirstEverWriteLeavesNothing) {
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "fresh", "partial", status));
+  sim_.Schedule(Duration::Millis(5), [this] { host_->Crash(); });
+  sim_.Run();
+  host_->Restart();
+  EXPECT_FALSE(store_.Contains("fresh"));
+}
+
+TEST_F(StableStoreTest, WriteAfterCrashRecoveryWorks) {
+  ASSERT_TRUE(RunWrite("k", "v1").ok());
+  host_->Crash();
+  host_->Restart();
+  ASSERT_TRUE(RunWrite("k", "v2").ok());
+  EXPECT_EQ(RunRead("k").value(), "v2");
+}
+
+TEST_F(StableStoreTest, WriteWhileDownAborts) {
+  host_->Crash();
+  EXPECT_EQ(RunWrite("k", "x").code(), StatusCode::kAborted);
+  host_->Restart();
+}
+
+TEST_F(StableStoreTest, ReadWhileDownAborts) {
+  ASSERT_TRUE(RunWrite("k", "x").ok());
+  host_->Crash();
+  EXPECT_EQ(RunRead("k").status().code(), StatusCode::kAborted);
+  host_->Restart();
+}
+
+TEST_F(StableStoreTest, DeleteRemovesDurably) {
+  ASSERT_TRUE(RunWrite("k", "x").ok());
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  auto deleter = [](StableStore* store, std::shared_ptr<Status> out) -> Task<void> {
+    *out = co_await store->Delete("k");
+  };
+  Spawn(deleter(&store_, status));
+  sim_.Run();
+  EXPECT_TRUE(status->ok());
+  EXPECT_FALSE(store_.Contains("k"));
+}
+
+TEST_F(StableStoreTest, KeysListsOnlyCommitted) {
+  ASSERT_TRUE(RunWrite("a/1", "x").ok());
+  ASSERT_TRUE(RunWrite("a/2", "y").ok());
+  ASSERT_TRUE(RunWrite("b/1", "z").ok());
+  EXPECT_EQ(store_.Keys().size(), 3u);
+  EXPECT_EQ(store_.KeysWithPrefix("a/").size(), 2u);
+  EXPECT_EQ(store_.KeysWithPrefix("b/").size(), 1u);
+  EXPECT_EQ(store_.KeysWithPrefix("c/").size(), 0u);
+}
+
+TEST_F(StableStoreTest, WriteLatencyIsSimulated) {
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "k", "v", status));
+  sim_.Run();
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(10));
+}
+
+TEST_F(StableStoreTest, ManyKeysSurviveManyCrashes) {
+  for (int round = 0; round < 5; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      ASSERT_TRUE(
+          RunWrite("key-" + std::to_string(k), "round-" + std::to_string(round)).ok());
+    }
+    host_->Crash();
+    host_->Restart();
+  }
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(store_.ReadCommitted("key-" + std::to_string(k)).value(), "round-4");
+  }
+}
+
+TEST_F(StableStoreTest, StatsTrackActivity) {
+  ASSERT_TRUE(RunWrite("k", "v").ok());
+  (void)RunRead("k");
+  EXPECT_EQ(store_.stats().writes_started, 1u);
+  EXPECT_EQ(store_.stats().writes_completed, 1u);
+  EXPECT_EQ(store_.stats().reads, 1u);
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,274 @@
+// SuiteClient: the weighted-voting read/write protocol end to end —
+// quorum gathering, version currency, caches, failures, conflicts,
+// transaction semantics.
+
+#include "src/core/suite_client.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace wvote {
+namespace {
+
+class SuiteClientTest : public ::testing::Test {
+ protected:
+  void Deploy(int num_reps, int r, int w, SuiteClientOptions copts = {}) {
+    cluster_ = std::make_unique<Cluster>();
+    std::vector<std::string> hosts;
+    for (int i = 0; i < num_reps; ++i) {
+      hosts.push_back("rep-" + std::to_string(i));
+      cluster_->AddRepresentative(hosts.back());
+    }
+    config_ = SuiteConfig::MakeUniform("f", hosts, r, w);
+    ASSERT_TRUE(cluster_->CreateSuite(config_, "v1-contents").ok());
+    client_ = cluster_->AddClient("client", config_, copts);
+  }
+
+  Host* Rep(int i) { return cluster_->net().FindHost("rep-" + std::to_string(i)); }
+
+  std::unique_ptr<Cluster> cluster_;
+  SuiteConfig config_;
+  SuiteClient* client_ = nullptr;
+};
+
+TEST_F(SuiteClientTest, ReadReturnsCurrentContents) {
+  Deploy(3, 2, 2);
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v1-contents");
+}
+
+TEST_F(SuiteClientTest, ReadYourOwnBufferedWrite) {
+  Deploy(3, 2, 2);
+  SuiteTransaction txn = client_->Begin();
+  ASSERT_TRUE(txn.Write("buffered").ok());
+  Result<std::string> r = cluster_->RunTask(txn.Read());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "buffered");
+  ASSERT_TRUE(cluster_->RunTask(txn.Commit()).ok());
+}
+
+TEST_F(SuiteClientTest, RepeatedReadsAreStableWithinTransaction) {
+  Deploy(3, 2, 2);
+  SuiteTransaction txn = client_->Begin();
+  Result<std::string> first = cluster_->RunTask(txn.Read());
+  Result<std::string> second = cluster_->RunTask(txn.Read());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value(), second.value());
+  cluster_->RunTask(txn.Commit());
+}
+
+TEST_F(SuiteClientTest, WriteBumpsVersionByOne) {
+  Deploy(3, 2, 2);
+  ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("v2")).ok());
+  SuiteTransaction txn = client_->Begin();
+  Result<VersionedValue> vv = cluster_->RunTask(txn.ReadVersioned());
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv.value().version, 2u);
+  EXPECT_EQ(vv.value().contents, "v2");
+  cluster_->RunTask(txn.Commit());
+}
+
+TEST_F(SuiteClientTest, OperationsAfterFinishFail) {
+  Deploy(3, 2, 2);
+  SuiteTransaction txn = client_->Begin();
+  ASSERT_TRUE(cluster_->RunTask(txn.Commit()).ok());
+  EXPECT_TRUE(txn.finished());
+  Result<std::string> r = cluster_->RunTask(txn.Read());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(txn.Write("late").code(), StatusCode::kFailedPrecondition);
+  Status st = cluster_->RunTask(txn.Commit());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SuiteClientTest, AbortDiscardsBufferedWrite) {
+  Deploy(3, 2, 2);
+  {
+    SuiteTransaction txn = client_->Begin();
+    ASSERT_TRUE(txn.Write("discarded").ok());
+    Spawn(txn.Abort());
+    cluster_->sim().Run();
+    EXPECT_TRUE(txn.finished());
+  }
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v1-contents");
+}
+
+TEST_F(SuiteClientTest, AbandonedTransactionReleasesLocksViaDestructor) {
+  Deploy(3, 2, 2);
+  {
+    SuiteTransaction txn = client_->Begin();
+    Result<std::string> r = cluster_->RunTask(txn.Read());
+    ASSERT_TRUE(r.ok());
+    // Dropped without Commit/Abort.
+  }
+  cluster_->sim().RunFor(Duration::Seconds(2));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster_->representative("rep-" + std::to_string(i))
+                  ->participant()
+                  .locks()
+                  .num_locked_keys(),
+              0u)
+        << "rep-" << i;
+  }
+}
+
+TEST_F(SuiteClientTest, GatherWidensPastCrashedRepresentatives) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  copts.max_gather_rounds = 4;
+  Deploy(5, 2, 4, copts);
+  Rep(0)->Crash();
+  Rep(1)->Crash();
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value(), "v1-contents");
+}
+
+TEST_F(SuiteClientTest, InsufficientVotesIsUnavailable) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  Deploy(3, 2, 2, copts);
+  Rep(0)->Crash();
+  Rep(1)->Crash();
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce(/*retries=*/1));
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(client_->stats().unavailable, 1u);
+}
+
+TEST_F(SuiteClientTest, WriteUnavailableWithoutWriteQuorum) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  Deploy(3, 1, 3, copts);
+  Rep(2)->Crash();
+  Status st = cluster_->RunTask(client_->WriteOnce("no", /*retries=*/1));
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  // Reads (r=1) still fine.
+  EXPECT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+}
+
+TEST_F(SuiteClientTest, ReadObservesLatestCommittedWriteFromOtherClient) {
+  Deploy(3, 2, 2);
+  SuiteClient* other = cluster_->AddClient("other-client", config_);
+  ASSERT_TRUE(cluster_->RunTask(other->WriteOnce("from-other")).ok());
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "from-other");
+}
+
+TEST_F(SuiteClientTest, ConflictingWritersSerialize) {
+  Deploy(3, 2, 2);
+  SuiteClient* other = cluster_->AddClient("other-client", config_);
+  auto st1 = std::make_shared<std::optional<Status>>();
+  auto st2 = std::make_shared<std::optional<Status>>();
+  auto writer = [](SuiteClient* c, std::string v,
+                   std::shared_ptr<std::optional<Status>> out) -> Task<void> {
+    *out = co_await c->WriteOnce(std::move(v), /*retries=*/20);
+  };
+  Spawn(writer(client_, "from-A", st1));
+  Spawn(writer(other, "from-B", st2));
+  cluster_->sim().Run();
+  ASSERT_TRUE(st1->has_value());
+  ASSERT_TRUE(st2->has_value());
+  EXPECT_TRUE((*st1)->ok()) << (*st1)->ToString();
+  EXPECT_TRUE((*st2)->ok()) << (*st2)->ToString();
+
+  // Both committed: version advanced twice, contents are one of the two.
+  SuiteTransaction txn = client_->Begin();
+  Result<VersionedValue> vv = cluster_->RunTask(txn.ReadVersioned());
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv.value().version, 3u);
+  EXPECT_TRUE(vv.value().contents == "from-A" || vv.value().contents == "from-B");
+  cluster_->RunTask(txn.Commit());
+}
+
+TEST_F(SuiteClientTest, WeightedVotesLetHeavyRepAloneFormReadQuorum) {
+  cluster_ = std::make_unique<Cluster>();
+  cluster_->AddRepresentative("heavy");
+  cluster_->AddRepresentative("light-1");
+  cluster_->AddRepresentative("light-2");
+  SuiteConfig cfg;
+  cfg.suite_name = "f";
+  cfg.AddRepresentative("heavy", 2);
+  cfg.AddRepresentative("light-1", 1);
+  cfg.AddRepresentative("light-2", 1);
+  cfg.read_quorum = 2;
+  cfg.write_quorum = 3;
+  ASSERT_TRUE(cluster_->CreateSuite(cfg, "x").ok());
+  client_ = cluster_->AddClient("client", cfg);
+
+  cluster_->net().ResetStats();
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  // One probe (heavy, 2 votes) + one data fetch + async lock release.
+  EXPECT_EQ(client_->stats().probes_sent, 1u);
+}
+
+TEST_F(SuiteClientTest, CacheServesRepeatedReads) {
+  cluster_ = std::make_unique<Cluster>();
+  cluster_->AddRepresentative("rep-0");
+  SuiteConfig cfg;
+  cfg.suite_name = "f";
+  cfg.AddRepresentative("rep-0", 1);
+  cfg.AddWeakRepresentative("client");
+  cfg.read_quorum = 1;
+  cfg.write_quorum = 1;
+  ASSERT_TRUE(cluster_->CreateSuite(cfg, "cached-contents").ok());
+  client_ = cluster_->AddClient("client", cfg, SuiteClientOptions{}, /*with_cache=*/true);
+
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());  // fills cache
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());  // hit
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());  // hit
+  EXPECT_EQ(client_->stats().cache_hits, 2u);
+  EXPECT_EQ(cluster_->cache_of("client")->stats().hits, 2u);
+}
+
+TEST_F(SuiteClientTest, CacheInvalidatedByRemoteWrite) {
+  cluster_ = std::make_unique<Cluster>();
+  cluster_->AddRepresentative("rep-0");
+  SuiteConfig cfg;
+  cfg.suite_name = "f";
+  cfg.AddRepresentative("rep-0", 1);
+  cfg.AddWeakRepresentative("client");
+  cfg.read_quorum = 1;
+  cfg.write_quorum = 1;
+  ASSERT_TRUE(cluster_->CreateSuite(cfg, "old").ok());
+  client_ = cluster_->AddClient("client", cfg, SuiteClientOptions{}, /*with_cache=*/true);
+  SuiteClient* writer = cluster_->AddClient("writer", cfg);
+
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  ASSERT_TRUE(cluster_->RunTask(writer->WriteOnce("new")).ok());
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "new");  // version check caught the stale cache
+}
+
+TEST_F(SuiteClientTest, BackgroundRefreshHealsStaleReplica) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  copts.strategy = QuorumStrategy::kBroadcast;
+  Deploy(3, 2, 2, copts);
+  Rep(2)->Crash();
+  ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("while-down")).ok());
+  Rep(2)->Restart();
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  cluster_->sim().RunFor(Duration::Seconds(5));
+  Result<VersionedValue> at2 = cluster_->representative("rep-2")->CurrentValue("f");
+  ASSERT_TRUE(at2.ok());
+  EXPECT_EQ(at2.value().contents, "while-down");
+}
+
+TEST_F(SuiteClientTest, StatsAccumulate) {
+  Deploy(3, 2, 2);
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("w")).ok());
+  EXPECT_EQ(client_->stats().reads, 1u);
+  EXPECT_EQ(client_->stats().writes, 1u);
+  EXPECT_EQ(client_->stats().commits, 2u);
+  EXPECT_GE(client_->stats().probes_sent, 4u);
+}
+
+}  // namespace
+}  // namespace wvote

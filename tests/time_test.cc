@@ -1,0 +1,58 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace wvote {
+namespace {
+
+TEST(DurationTest, Conversions) {
+  EXPECT_EQ(Duration::Millis(5).ToMicros(), 5000);
+  EXPECT_EQ(Duration::Seconds(2).ToMicros(), 2000000);
+  EXPECT_DOUBLE_EQ(Duration::Micros(1500).ToMillis(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::Millis(2500).ToSeconds(), 2.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ(Duration::Millis(3) + Duration::Millis(4), Duration::Millis(7));
+  EXPECT_EQ(Duration::Millis(10) - Duration::Millis(4), Duration::Millis(6));
+  EXPECT_EQ(Duration::Millis(3) * 4, Duration::Millis(12));
+  EXPECT_EQ(Duration::Millis(12) / 4, Duration::Millis(3));
+  Duration d = Duration::Millis(1);
+  d += Duration::Millis(2);
+  EXPECT_EQ(d, Duration::Millis(3));
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_GE(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_EQ(Duration::Zero(), Duration::Micros(0));
+}
+
+TEST(DurationTest, NegativeIntermediatesRepresentable) {
+  const Duration d = Duration::Millis(1) - Duration::Millis(5);
+  EXPECT_EQ(d.ToMicros(), -4000);
+}
+
+TEST(DurationTest, InfiniteIsLarge) {
+  EXPECT_GT(Duration::Infinite(), Duration::Seconds(1000000000));
+}
+
+TEST(DurationTest, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::Seconds(3).ToString(), "3s");
+  EXPECT_EQ(Duration::Millis(75).ToString(), "75ms");
+  EXPECT_EQ(Duration::Micros(42).ToString(), "42us");
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t = TimePoint::FromMicros(1000);
+  EXPECT_EQ((t + Duration::Millis(1)).ToMicros(), 2000);
+  EXPECT_EQ(TimePoint::FromMicros(5000) - t, Duration::Micros(4000));
+}
+
+TEST(TimePointTest, Comparisons) {
+  EXPECT_LT(TimePoint::FromMicros(1), TimePoint::FromMicros(2));
+  EXPECT_EQ(TimePoint(), TimePoint::FromMicros(0));
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,124 @@
+// Protocol tracing: ring semantics and end-to-end event capture.
+
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+
+namespace wvote {
+namespace {
+
+TEST(TraceLogTest, RecordsInOrder) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 16);
+  trace.Record(1, TraceKind::kCustom, "first");
+  sim.RunFor(Duration::Millis(5));
+  trace.Record(2, TraceKind::kCustom, "second");
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "first");
+  EXPECT_EQ(events[1].detail, "second");
+  EXPECT_LT(events[0].at, events[1].at);
+}
+
+TEST(TraceLogTest, RingKeepsNewest) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 4);
+  for (int i = 0; i < 10; ++i) {
+    trace.Record(0, TraceKind::kCustom, std::to_string(i));
+  }
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].detail, "6");
+  EXPECT_EQ(events[3].detail, "9");
+  EXPECT_EQ(trace.total_recorded(), 10u);
+}
+
+TEST(TraceLogTest, CountsPerKindSurviveRingEviction) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 2);
+  for (int i = 0; i < 7; ++i) {
+    trace.Record(0, TraceKind::kHostCrashed, "");
+  }
+  EXPECT_EQ(trace.CountOf(TraceKind::kHostCrashed), 7u);
+}
+
+TEST(TraceLogTest, FiltersByHostAndKind) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 16);
+  trace.Record(1, TraceKind::kHostCrashed, "a");
+  trace.Record(2, TraceKind::kHostCrashed, "b");
+  trace.Record(1, TraceKind::kHostRestarted, "a");
+  EXPECT_EQ(trace.ForHost(1).size(), 2u);
+  EXPECT_EQ(trace.OfKind(TraceKind::kHostCrashed).size(), 2u);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 4);
+  trace.Record(0, TraceKind::kCustom, "x");
+  trace.Clear();
+  EXPECT_TRUE(trace.Snapshot().empty());
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_EQ(trace.CountOf(TraceKind::kCustom), 0u);
+}
+
+TEST(TraceLogTest, DumpMentionsKindNames) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 4);
+  trace.Record(3, TraceKind::kTxnCommitted, "txn(1.1@0)");
+  const std::string dump = trace.Dump();
+  EXPECT_NE(dump.find("txn-committed"), std::string::npos);
+  EXPECT_NE(dump.find("txn(1.1@0)"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, ClusterCapturesProtocolEvents) {
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) {
+    cluster.AddRepresentative("rep-" + std::to_string(i));
+  }
+  SuiteConfig config = SuiteConfig::MakeUniform("t", {"rep-0", "rep-1", "rep-2"}, 2, 2);
+  ASSERT_TRUE(cluster.CreateSuite(config, "x").ok());
+  SuiteClient* client = cluster.AddClient("client", config);
+
+  ASSERT_TRUE(cluster.RunTask(client->WriteOnce("y")).ok());
+  // The write prepared and committed at two representatives.
+  EXPECT_EQ(cluster.trace().CountOf(TraceKind::kTxnPrepared), 2u);
+  EXPECT_EQ(cluster.trace().CountOf(TraceKind::kTxnCommitted), 2u);
+
+  // Crash/restart shows up attributed to the right host.
+  Host* rep2 = cluster.net().FindHost("rep-2");
+  rep2->Crash();
+  rep2->Restart();
+  EXPECT_EQ(cluster.trace().CountOf(TraceKind::kHostCrashed), 1u);
+  EXPECT_EQ(cluster.trace().ForHost(rep2->id()).size(), 3u);  // crash+restart+recovery
+
+  // A failed quorum is recorded.
+  cluster.net().FindHost("rep-0")->Crash();
+  cluster.net().FindHost("rep-1")->Crash();
+  SuiteClientOptions fast;
+  fast.probe_timeout = Duration::Millis(100);
+  SuiteClient* impatient = cluster.AddClient("impatient", config, fast);
+  (void)cluster.RunTask(impatient->ReadOnce(/*retries=*/1));
+  EXPECT_GE(cluster.trace().CountOf(TraceKind::kQuorumFailed), 1u);
+  EXPECT_GE(cluster.trace().CountOf(TraceKind::kMessageDropped), 1u);
+}
+
+TEST(TraceIntegrationTest, ReconfigurationIsTraced) {
+  Cluster cluster;
+  for (int i = 0; i < 3; ++i) {
+    cluster.AddRepresentative("rep-" + std::to_string(i));
+  }
+  SuiteConfig config = SuiteConfig::MakeUniform("t", {"rep-0", "rep-1", "rep-2"}, 2, 2);
+  ASSERT_TRUE(cluster.CreateSuite(config, "x").ok());
+  SuiteClient* admin = cluster.AddClient("admin", config);
+  ASSERT_TRUE(cluster
+                  .RunTask(admin->Reconfigure(
+                      SuiteConfig::MakeUniform("t", {"rep-0", "rep-1", "rep-2"}, 1, 3)))
+                  .ok());
+  EXPECT_EQ(cluster.trace().CountOf(TraceKind::kReconfigured), 1u);
+}
+
+}  // namespace
+}  // namespace wvote

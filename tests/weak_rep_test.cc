@@ -1,0 +1,70 @@
+#include "src/core/weak_rep.h"
+
+#include <gtest/gtest.h>
+
+#include "src/net/network.h"
+
+namespace wvote {
+namespace {
+
+class WeakRepTest : public ::testing::Test {
+ protected:
+  WeakRepTest() : sim_(1), net_(&sim_), host_(net_.AddHost("h")), cache_(host_) {}
+
+  Simulator sim_;
+  Network net_;
+  Host* host_;
+  WeakRepresentative cache_;
+};
+
+TEST_F(WeakRepTest, MissOnEmpty) {
+  EXPECT_EQ(cache_.Lookup("s", 1), nullptr);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(WeakRepTest, HitOnlyAtExactCurrentVersion) {
+  cache_.Update("s", 3, "v3");
+  EXPECT_EQ(cache_.Lookup("s", 3) != nullptr, true);
+  EXPECT_EQ(*cache_.Lookup("s", 3), "v3");
+  EXPECT_EQ(cache_.Lookup("s", 4), nullptr);  // stale
+  EXPECT_EQ(cache_.Lookup("s", 2), nullptr);  // cache is ahead?! still no
+}
+
+TEST_F(WeakRepTest, UpdateKeepsNewest) {
+  cache_.Update("s", 3, "v3");
+  cache_.Update("s", 2, "v2-late");  // older: ignored
+  EXPECT_NE(cache_.Lookup("s", 3), nullptr);
+  cache_.Update("s", 5, "v5");
+  EXPECT_NE(cache_.Lookup("s", 5), nullptr);
+  EXPECT_EQ(cache_.stats().updates, 2u);
+}
+
+TEST_F(WeakRepTest, EqualVersionUpdateRefreshes) {
+  cache_.Update("s", 3, "a");
+  cache_.Update("s", 3, "b");
+  EXPECT_EQ(*cache_.Lookup("s", 3), "b");
+}
+
+TEST_F(WeakRepTest, SuitesAreIndependent) {
+  cache_.Update("s1", 1, "one");
+  cache_.Update("s2", 9, "nine");
+  EXPECT_EQ(*cache_.Lookup("s1", 1), "one");
+  EXPECT_EQ(*cache_.Lookup("s2", 9), "nine");
+  EXPECT_EQ(cache_.Lookup("s1", 9), nullptr);
+}
+
+TEST_F(WeakRepTest, InvalidateDropsEntry) {
+  cache_.Update("s", 3, "v3");
+  cache_.Invalidate("s");
+  EXPECT_EQ(cache_.Lookup("s", 3), nullptr);
+}
+
+TEST_F(WeakRepTest, HostCrashClearsCache) {
+  cache_.Update("s", 3, "v3");
+  host_->Crash();
+  host_->Restart();
+  EXPECT_EQ(cache_.Lookup("s", 3), nullptr);  // caches are volatile
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,142 @@
+// Workload generator and fault injector.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/workload/fault_injector.h"
+#include "src/workload/generator.h"
+
+namespace wvote {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    for (int i = 0; i < 3; ++i) {
+      cluster_->AddRepresentative("rep-" + std::to_string(i));
+    }
+    config_ = SuiteConfig::MakeUniform("f", {"rep-0", "rep-1", "rep-2"}, 2, 2);
+    ASSERT_TRUE(cluster_->CreateSuite(config_, "init").ok());
+    client_ = cluster_->AddClient("client", config_);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  SuiteConfig config_;
+  SuiteClient* client_ = nullptr;
+};
+
+TEST_F(WorkloadTest, ClosedLoopProducesOps) {
+  WorkloadOptions opts;
+  opts.read_fraction = 0.5;
+  opts.mean_think_time = Duration::Millis(50);
+  opts.run_length = Duration::Seconds(20);
+  WorkloadStats stats;
+  SuiteStoreAdapter store(client_);
+  Spawn(RunClosedLoopClient(&cluster_->sim(), &store, opts, 1, &stats));
+  cluster_->sim().Run();
+  EXPECT_GT(stats.reads_ok, 20u);
+  EXPECT_GT(stats.writes_ok, 20u);
+  EXPECT_EQ(stats.read_failures + stats.write_failures, 0u);
+  EXPECT_EQ(stats.read_latency.count(), stats.reads_ok);
+  EXPECT_EQ(stats.write_latency.count(), stats.writes_ok);
+}
+
+TEST_F(WorkloadTest, ReadFractionRespected) {
+  WorkloadOptions opts;
+  opts.read_fraction = 0.9;
+  opts.mean_think_time = Duration::Millis(20);
+  opts.run_length = Duration::Seconds(60);
+  WorkloadStats stats;
+  SuiteStoreAdapter store(client_);
+  Spawn(RunClosedLoopClient(&cluster_->sim(), &store, opts, 2, &stats));
+  cluster_->sim().Run();
+  const double read_share = static_cast<double>(stats.reads_ok) /
+                            static_cast<double>(stats.reads_ok + stats.writes_ok);
+  EXPECT_NEAR(read_share, 0.9, 0.04);
+}
+
+TEST_F(WorkloadTest, PureReadWorkloadNeverWrites) {
+  WorkloadOptions opts;
+  opts.read_fraction = 1.0;
+  opts.run_length = Duration::Seconds(5);
+  WorkloadStats stats;
+  SuiteStoreAdapter store(client_);
+  Spawn(RunClosedLoopClient(&cluster_->sim(), &store, opts, 3, &stats));
+  cluster_->sim().Run();
+  EXPECT_EQ(stats.writes_ok + stats.write_failures, 0u);
+  EXPECT_GT(stats.reads_ok, 0u);
+}
+
+TEST_F(WorkloadTest, ValueSizePadsWrites) {
+  WorkloadOptions opts;
+  opts.read_fraction = 0.0;
+  opts.run_length = Duration::Seconds(5);
+  opts.value_size = 4096;
+  WorkloadStats stats;
+  SuiteStoreAdapter store(client_);
+  Spawn(RunClosedLoopClient(&cluster_->sim(), &store, opts, 4, &stats));
+  cluster_->sim().Run();
+  ASSERT_GT(stats.writes_ok, 0u);
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 4096u);
+}
+
+TEST_F(WorkloadTest, StatsMergeAddsUp) {
+  WorkloadStats a;
+  WorkloadStats b;
+  a.reads_ok = 3;
+  a.read_latency.Record(Duration::Millis(10));
+  b.reads_ok = 4;
+  b.write_failures = 2;
+  a.MergeFrom(b);
+  EXPECT_EQ(a.reads_ok, 7u);
+  EXPECT_EQ(a.write_failures, 2u);
+  EXPECT_EQ(a.ops_ok(), 7u);
+}
+
+TEST_F(WorkloadTest, ThroughputComputation) {
+  WorkloadStats s;
+  s.reads_ok = 100;
+  s.writes_ok = 20;
+  EXPECT_DOUBLE_EQ(s.throughput_per_sec(Duration::Seconds(60)), 2.0);
+}
+
+TEST(FaultProfileTest, AvailabilityMath) {
+  FaultProfile p = ProfileForAvailability(0.9, Duration::Seconds(10));
+  // mttf = 10s * 0.9 / 0.1 = 90s
+  EXPECT_NEAR(p.mttf.ToSeconds(), 90.0, 0.01);
+  EXPECT_EQ(p.mttr, Duration::Seconds(10));
+}
+
+TEST(FaultInjectorTest, HostCyclesAndEndsUp) {
+  Simulator sim(1);
+  Network net(&sim);
+  Host* host = net.AddHost("flaky");
+  FaultInjectorStats stats;
+  const TimePoint end = TimePoint() + Duration::Seconds(600);
+  Spawn(RunCrashRestartCycle(&sim, host, Duration::Seconds(20), Duration::Seconds(5), end,
+                             7, &stats));
+  sim.Run();
+  EXPECT_TRUE(host->up());
+  EXPECT_GT(stats.crashes, 10u);
+  // Steady-state availability 20/25 = 0.8: downtime should be ~20% of 600s.
+  EXPECT_NEAR(stats.total_downtime.ToSeconds() / 600.0, 0.2, 0.1);
+}
+
+TEST(FaultInjectorTest, ApproximatesTargetAvailability) {
+  Simulator sim(2);
+  Network net(&sim);
+  Host* host = net.AddHost("flaky");
+  FaultInjectorStats stats;
+  const FaultProfile p = ProfileForAvailability(0.95, Duration::Seconds(2));
+  const TimePoint end = TimePoint() + Duration::Seconds(3000);
+  Spawn(RunCrashRestartCycle(&sim, host, p.mttf, p.mttr, end, 9, &stats));
+  sim.Run();
+  const double downtime_share = stats.total_downtime.ToSeconds() / 3000.0;
+  EXPECT_NEAR(downtime_share, 0.05, 0.025);
+}
+
+}  // namespace
+}  // namespace wvote

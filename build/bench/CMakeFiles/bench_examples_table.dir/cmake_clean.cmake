@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_examples_table.dir/bench_examples_table.cc.o"
+  "CMakeFiles/bench_examples_table.dir/bench_examples_table.cc.o.d"
+  "bench_examples_table"
+  "bench_examples_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_examples_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

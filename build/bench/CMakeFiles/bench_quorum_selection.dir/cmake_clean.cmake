@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quorum_selection.dir/bench_quorum_selection.cc.o"
+  "CMakeFiles/bench_quorum_selection.dir/bench_quorum_selection.cc.o.d"
+  "bench_quorum_selection"
+  "bench_quorum_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quorum_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quorum_spectrum.dir/bench_quorum_spectrum.cc.o"
+  "CMakeFiles/bench_quorum_spectrum.dir/bench_quorum_spectrum.cc.o.d"
+  "bench_quorum_spectrum"
+  "bench_quorum_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quorum_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconfig.dir/bench_reconfig.cc.o"
+  "CMakeFiles/bench_reconfig.dir/bench_reconfig.cc.o.d"
+  "bench_reconfig"
+  "bench_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weak_reps.dir/bench_weak_reps.cc.o"
+  "CMakeFiles/bench_weak_reps.dir/bench_weak_reps.cc.o.d"
+  "bench_weak_reps"
+  "bench_weak_reps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weak_reps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

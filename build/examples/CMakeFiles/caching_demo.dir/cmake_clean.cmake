@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_demo.dir/caching_demo.cpp.o"
+  "CMakeFiles/caching_demo.dir/caching_demo.cpp.o.d"
+  "caching_demo"
+  "caching_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

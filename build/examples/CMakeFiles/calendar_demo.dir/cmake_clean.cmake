@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_demo.dir/calendar_demo.cpp.o"
+  "CMakeFiles/calendar_demo.dir/calendar_demo.cpp.o.d"
+  "calendar_demo"
+  "calendar_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gifford_examples.dir/gifford_examples.cpp.o"
+  "CMakeFiles/gifford_examples.dir/gifford_examples.cpp.o.d"
+  "gifford_examples"
+  "gifford_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gifford_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

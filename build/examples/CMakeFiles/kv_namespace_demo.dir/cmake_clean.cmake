@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_namespace_demo.dir/kv_namespace_demo.cpp.o"
+  "CMakeFiles/kv_namespace_demo.dir/kv_namespace_demo.cpp.o.d"
+  "kv_namespace_demo"
+  "kv_namespace_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_namespace_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

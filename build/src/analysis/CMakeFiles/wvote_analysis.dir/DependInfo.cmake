@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/baseline_model.cc" "src/analysis/CMakeFiles/wvote_analysis.dir/baseline_model.cc.o" "gcc" "src/analysis/CMakeFiles/wvote_analysis.dir/baseline_model.cc.o.d"
+  "/root/repo/src/analysis/gifford_examples.cc" "src/analysis/CMakeFiles/wvote_analysis.dir/gifford_examples.cc.o" "gcc" "src/analysis/CMakeFiles/wvote_analysis.dir/gifford_examples.cc.o.d"
+  "/root/repo/src/analysis/model.cc" "src/analysis/CMakeFiles/wvote_analysis.dir/model.cc.o" "gcc" "src/analysis/CMakeFiles/wvote_analysis.dir/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wvote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wvote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/wvote_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wvote_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wvote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wvote_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wvote_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_analysis.dir/baseline_model.cc.o"
+  "CMakeFiles/wvote_analysis.dir/baseline_model.cc.o.d"
+  "CMakeFiles/wvote_analysis.dir/gifford_examples.cc.o"
+  "CMakeFiles/wvote_analysis.dir/gifford_examples.cc.o.d"
+  "CMakeFiles/wvote_analysis.dir/model.cc.o"
+  "CMakeFiles/wvote_analysis.dir/model.cc.o.d"
+  "libwvote_analysis.a"
+  "libwvote_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

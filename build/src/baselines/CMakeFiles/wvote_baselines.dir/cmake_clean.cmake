@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_baselines.dir/configs.cc.o"
+  "CMakeFiles/wvote_baselines.dir/configs.cc.o.d"
+  "CMakeFiles/wvote_baselines.dir/majority_consensus.cc.o"
+  "CMakeFiles/wvote_baselines.dir/majority_consensus.cc.o.d"
+  "CMakeFiles/wvote_baselines.dir/primary_copy.cc.o"
+  "CMakeFiles/wvote_baselines.dir/primary_copy.cc.o.d"
+  "libwvote_baselines.a"
+  "libwvote_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_common.dir/status.cc.o"
+  "CMakeFiles/wvote_common.dir/status.cc.o.d"
+  "CMakeFiles/wvote_common.dir/time.cc.o"
+  "CMakeFiles/wvote_common.dir/time.cc.o.d"
+  "libwvote_common.a"
+  "libwvote_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anti_entropy.cc" "src/core/CMakeFiles/wvote_core.dir/anti_entropy.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/anti_entropy.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/wvote_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/cluster.cc" "src/core/CMakeFiles/wvote_core.dir/cluster.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/cluster.cc.o.d"
+  "/root/repo/src/core/multi_txn.cc" "src/core/CMakeFiles/wvote_core.dir/multi_txn.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/multi_txn.cc.o.d"
+  "/root/repo/src/core/quorum.cc" "src/core/CMakeFiles/wvote_core.dir/quorum.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/quorum.cc.o.d"
+  "/root/repo/src/core/representative.cc" "src/core/CMakeFiles/wvote_core.dir/representative.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/representative.cc.o.d"
+  "/root/repo/src/core/suite_client.cc" "src/core/CMakeFiles/wvote_core.dir/suite_client.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/suite_client.cc.o.d"
+  "/root/repo/src/core/suite_config.cc" "src/core/CMakeFiles/wvote_core.dir/suite_config.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/suite_config.cc.o.d"
+  "/root/repo/src/core/types.cc" "src/core/CMakeFiles/wvote_core.dir/types.cc.o" "gcc" "src/core/CMakeFiles/wvote_core.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txn/CMakeFiles/wvote_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wvote_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wvote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wvote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wvote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

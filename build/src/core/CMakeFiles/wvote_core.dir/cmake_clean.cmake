@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_core.dir/anti_entropy.cc.o"
+  "CMakeFiles/wvote_core.dir/anti_entropy.cc.o.d"
+  "CMakeFiles/wvote_core.dir/catalog.cc.o"
+  "CMakeFiles/wvote_core.dir/catalog.cc.o.d"
+  "CMakeFiles/wvote_core.dir/cluster.cc.o"
+  "CMakeFiles/wvote_core.dir/cluster.cc.o.d"
+  "CMakeFiles/wvote_core.dir/multi_txn.cc.o"
+  "CMakeFiles/wvote_core.dir/multi_txn.cc.o.d"
+  "CMakeFiles/wvote_core.dir/quorum.cc.o"
+  "CMakeFiles/wvote_core.dir/quorum.cc.o.d"
+  "CMakeFiles/wvote_core.dir/representative.cc.o"
+  "CMakeFiles/wvote_core.dir/representative.cc.o.d"
+  "CMakeFiles/wvote_core.dir/suite_client.cc.o"
+  "CMakeFiles/wvote_core.dir/suite_client.cc.o.d"
+  "CMakeFiles/wvote_core.dir/suite_config.cc.o"
+  "CMakeFiles/wvote_core.dir/suite_config.cc.o.d"
+  "CMakeFiles/wvote_core.dir/types.cc.o"
+  "CMakeFiles/wvote_core.dir/types.cc.o.d"
+  "libwvote_core.a"
+  "libwvote_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_kv.dir/kv_store.cc.o"
+  "CMakeFiles/wvote_kv.dir/kv_store.cc.o.d"
+  "libwvote_kv.a"
+  "libwvote_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

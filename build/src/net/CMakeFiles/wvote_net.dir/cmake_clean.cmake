@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_net.dir/host.cc.o"
+  "CMakeFiles/wvote_net.dir/host.cc.o.d"
+  "CMakeFiles/wvote_net.dir/network.cc.o"
+  "CMakeFiles/wvote_net.dir/network.cc.o.d"
+  "libwvote_net.a"
+  "libwvote_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_sim.dir/latency.cc.o"
+  "CMakeFiles/wvote_sim.dir/latency.cc.o.d"
+  "CMakeFiles/wvote_sim.dir/random.cc.o"
+  "CMakeFiles/wvote_sim.dir/random.cc.o.d"
+  "CMakeFiles/wvote_sim.dir/simulator.cc.o"
+  "CMakeFiles/wvote_sim.dir/simulator.cc.o.d"
+  "libwvote_sim.a"
+  "libwvote_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/stable_store.cc" "src/storage/CMakeFiles/wvote_storage.dir/stable_store.cc.o" "gcc" "src/storage/CMakeFiles/wvote_storage.dir/stable_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wvote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wvote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wvote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_storage.dir/stable_store.cc.o"
+  "CMakeFiles/wvote_storage.dir/stable_store.cc.o.d"
+  "libwvote_storage.a"
+  "libwvote_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_trace.dir/trace.cc.o"
+  "CMakeFiles/wvote_trace.dir/trace.cc.o.d"
+  "libwvote_trace.a"
+  "libwvote_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/coordinator.cc" "src/txn/CMakeFiles/wvote_txn.dir/coordinator.cc.o" "gcc" "src/txn/CMakeFiles/wvote_txn.dir/coordinator.cc.o.d"
+  "/root/repo/src/txn/intentions_log.cc" "src/txn/CMakeFiles/wvote_txn.dir/intentions_log.cc.o" "gcc" "src/txn/CMakeFiles/wvote_txn.dir/intentions_log.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/wvote_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/wvote_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/participant.cc" "src/txn/CMakeFiles/wvote_txn.dir/participant.cc.o" "gcc" "src/txn/CMakeFiles/wvote_txn.dir/participant.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/wvote_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wvote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wvote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wvote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

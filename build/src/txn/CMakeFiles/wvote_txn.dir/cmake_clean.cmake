@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_txn.dir/coordinator.cc.o"
+  "CMakeFiles/wvote_txn.dir/coordinator.cc.o.d"
+  "CMakeFiles/wvote_txn.dir/intentions_log.cc.o"
+  "CMakeFiles/wvote_txn.dir/intentions_log.cc.o.d"
+  "CMakeFiles/wvote_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/wvote_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/wvote_txn.dir/participant.cc.o"
+  "CMakeFiles/wvote_txn.dir/participant.cc.o.d"
+  "libwvote_txn.a"
+  "libwvote_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wvote_workload.dir/fault_injector.cc.o"
+  "CMakeFiles/wvote_workload.dir/fault_injector.cc.o.d"
+  "CMakeFiles/wvote_workload.dir/generator.cc.o"
+  "CMakeFiles/wvote_workload.dir/generator.cc.o.d"
+  "CMakeFiles/wvote_workload.dir/histogram.cc.o"
+  "CMakeFiles/wvote_workload.dir/histogram.cc.o.d"
+  "libwvote_workload.a"
+  "libwvote_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wvote_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

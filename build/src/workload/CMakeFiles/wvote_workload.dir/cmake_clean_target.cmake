@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwvote_workload.a"
+)

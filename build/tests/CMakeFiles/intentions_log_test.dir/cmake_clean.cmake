@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intentions_log_test.dir/intentions_log_test.cc.o"
+  "CMakeFiles/intentions_log_test.dir/intentions_log_test.cc.o.d"
+  "intentions_log_test"
+  "intentions_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intentions_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lock_lease_test.cc" "tests/CMakeFiles/lock_lease_test.dir/lock_lease_test.cc.o" "gcc" "tests/CMakeFiles/lock_lease_test.dir/lock_lease_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/wvote_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/wvote_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wvote_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/wvote_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wvote_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/wvote_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/wvote_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/wvote_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wvote_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wvote_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wvote_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

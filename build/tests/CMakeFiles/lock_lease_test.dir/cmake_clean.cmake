@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_lease_test.dir/lock_lease_test.cc.o"
+  "CMakeFiles/lock_lease_test.dir/lock_lease_test.cc.o.d"
+  "lock_lease_test"
+  "lock_lease_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_lease_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

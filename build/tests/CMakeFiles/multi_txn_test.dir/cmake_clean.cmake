@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_txn_test.dir/multi_txn_test.cc.o"
+  "CMakeFiles/multi_txn_test.dir/multi_txn_test.cc.o.d"
+  "multi_txn_test"
+  "multi_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

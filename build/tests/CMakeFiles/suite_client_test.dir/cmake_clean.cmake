@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_client_test.dir/suite_client_test.cc.o"
+  "CMakeFiles/suite_client_test.dir/suite_client_test.cc.o.d"
+  "suite_client_test"
+  "suite_client_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_config_test.dir/suite_config_test.cc.o"
+  "CMakeFiles/suite_config_test.dir/suite_config_test.cc.o.d"
+  "suite_config_test"
+  "suite_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_commit_test.dir/two_phase_commit_test.cc.o"
+  "CMakeFiles/two_phase_commit_test.dir/two_phase_commit_test.cc.o.d"
+  "two_phase_commit_test"
+  "two_phase_commit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_commit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -18,6 +18,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 struct VoteScheme {
   const char* name;
   std::vector<int> votes;
@@ -69,9 +71,14 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
   wopts.run_length = run;
   wopts.value_size = 128;
   WorkloadStats stats;
+  stats.RegisterWith(&cluster.metrics(), {{"client", "client"}});
   SuiteStoreAdapter store(client, /*retries=*/1);
   Spawn(RunClosedLoopClient(&cluster.sim(), &store, wopts, /*seed=*/99, &stats));
   cluster.sim().RunUntil(end + Duration::Seconds(30));
+
+  char tag[96];
+  std::snprintf(tag, sizeof(tag), "%s p=%.2f", scheme.name, availability);
+  DumpMetrics(cluster.metrics(), g_metrics, tag);
 
   SimPoint point{0.0, 0.0};
   if (stats.reads_ok + stats.read_failures > 0) {
@@ -87,7 +94,8 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   const std::vector<VoteScheme> schemes = {
       {"read-one/write-all", {1, 1, 1, 1, 1}, 1, 5},
       {"majority", {1, 1, 1, 1, 1}, 3, 3},

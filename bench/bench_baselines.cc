@@ -28,6 +28,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 const Duration kRtt[] = {Duration::Millis(20), Duration::Millis(40), Duration::Millis(80),
                          Duration::Millis(160), Duration::Millis(320)};
 constexpr int kNumServers = 5;
@@ -67,8 +69,12 @@ SchemeResult RunWorkload(Cluster& cluster, ReplicatedStore* store, double read_f
   wopts.run_length = Duration::Seconds(120);
   wopts.value_size = 1024;
   WorkloadStats stats;
+  stats.RegisterWith(&cluster.metrics(), {{"client", "client"}});
   Spawn(RunClosedLoopClient(&cluster.sim(), store, wopts, 5, &stats));
   cluster.sim().RunUntil(cluster.sim().Now() + Duration::Seconds(150));
+  char tag[96];
+  std::snprintf(tag, sizeof(tag), "%s rf=%.2f", store->SchemeName(), read_fraction);
+  DumpMetrics(cluster.metrics(), g_metrics, tag);
   SchemeResult out;
   out.read_ms = stats.read_latency.Mean().ToMillis();
   out.write_ms = stats.write_latency.Mean().ToMillis();
@@ -104,6 +110,7 @@ SchemeResult RunPrimaryCopy(double read_fraction, uint64_t seed) {
     backups.push_back(cluster->net().FindHost("srv-" + std::to_string(i))->id());
   }
   PrimaryCopyStore store(client, backups, PrimaryCopyReadMode::kPrimary);
+  store.RegisterMetrics(&cluster->metrics());
   return RunWorkload(*cluster, &store, read_fraction);
 }
 
@@ -127,13 +134,16 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
     cluster.net().SetSymmetricLink(client_host->id(), replicas[i],
                                    LatencyModel::Fixed(kRtt[i] / 2));
   }
+  client_rpc.RegisterMetrics(&cluster.metrics());
   MajorityConsensusStore store(&client_rpc, "bench", replicas);
+  store.RegisterMetrics(&cluster.metrics());
   return RunWorkload(cluster, &store, read_fraction);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   std::printf("E5: schemes compared across the read/write mix\n");
   std::printf("5 replicas, client RTTs {20,40,80,160,320}ms, closed loop, 120s runs\n\n");
   std::printf("%-20s", "scheme");

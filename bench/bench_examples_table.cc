@@ -17,7 +17,8 @@
 
 using namespace wvote;  // NOLINT: bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   std::printf("E1: Gifford's example file suites — analytic vs simulated\n");
   std::printf("(representative availability 0.99 for blocking probabilities)\n\n");
 
@@ -66,6 +67,7 @@ int main() {
                 static_cast<unsigned long long>(net.bytes_sent),
                 static_cast<unsigned long long>(
                     ex.client_has_cache ? dep.cluster->cache_of("client")->stats().hits : 0));
+    DumpMetrics(dep.cluster->metrics(), metrics_mode, ex.name);
   }
   return 0;
 }

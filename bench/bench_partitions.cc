@@ -27,6 +27,8 @@ struct PartitionResult {
   bool converged = true;
 };
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 PartitionResult RunOne(int r, int w) {
   ClusterOptions copts;
   copts.seed = 31;
@@ -99,12 +101,16 @@ PartitionResult RunOne(int r, int w) {
       out.converged = false;
     }
   }
+  char tag[64];
+  std::snprintf(tag, sizeof(tag), "r=%d w=%d", r, w);
+  DumpMetrics(cluster.metrics(), g_metrics, tag);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   std::printf("E6: partitions — mutual exclusion and partial operability\n");
   std::printf("5 servers; partition {0,1,2} vs {3,4}; 8 epochs x 3 ops per side\n\n");
   std::printf("%3s %3s | %14s %14s | %13s %13s | %10s %10s\n", "r", "w", "major writes",

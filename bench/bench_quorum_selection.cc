@@ -19,6 +19,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 GiffordExample MakeHeterogeneousSuite(QuorumStrategy strategy) {
   GiffordExample ex;
   ex.config.suite_name = "hetero";
@@ -57,6 +59,7 @@ void PrintStrategyTable() {
                 reads.Mean().ToMillis(), writes.Mean().ToMillis(),
                 static_cast<double>(net.messages_sent) / 80.0,
                 static_cast<unsigned long long>(dep.client->stats().probes_sent));
+    DumpMetrics(dep.cluster->metrics(), g_metrics, QuorumStrategyName(strategy));
   }
   std::printf("\nshape check: lowest-latency wins time, fewest-messages wins probe count,\n"
               "broadcast pays the most messages for the most failure tolerance.\n\n");
@@ -101,6 +104,7 @@ BENCHMARK(BM_PlanFewestMessages)->Arg(3)->Arg(7)->Arg(15)->Arg(31);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   PrintStrategyTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -36,7 +36,8 @@ GiffordExample MakeSpectrumSuite(int r, int w, double availability) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   constexpr double kAvailability = 0.99;
   std::printf("E2: read/write latency and availability across the (r, w) spectrum\n");
   std::printf("5 representatives, 1 vote each, client RTTs {20,40,80,160,320}ms, "
@@ -67,6 +68,9 @@ int main() {
                   w, analysis.ReadLatencyAllUp(false).ToMillis(), reads.Mean().ToMillis(),
                   analysis.WriteLatencyAllUp().ToMillis(), writes.Mean().ToMillis(),
                   analysis.ReadAvailability(), analysis.WriteAvailability(), note);
+      char tag[32];
+      std::snprintf(tag, sizeof(tag), "r=%d w=%d", r, w);
+      DumpMetrics(dep.cluster->metrics(), metrics_mode, tag);
     }
   }
   return 0;

@@ -13,7 +13,8 @@
 
 using namespace wvote;  // NOLINT: bench brevity
 
-int main() {
+int main(int argc, char** argv) {
+  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   std::printf("E7: reconfiguration under load\n\n");
 
   ClusterOptions copts;
@@ -35,6 +36,7 @@ int main() {
   wopts.run_length = Duration::Seconds(60);
   wopts.value_size = 256;
   WorkloadStats stats;
+  stats.RegisterWith(&cluster.metrics(), {{"client", "worker"}});
   SuiteStoreAdapter store(worker);
   Spawn(RunClosedLoopClient(&cluster.sim(), &store, wopts, 3, &stats));
 
@@ -90,5 +92,6 @@ int main() {
               static_cast<unsigned long long>(admin->config().config_version));
   std::printf("shape check: reconfigurations cost a few write-latencies, the invalid tuning\n"
               "is rejected by validation, and the workload keeps running throughout.\n");
+  DumpMetrics(cluster.metrics(), metrics_mode, "reconfig");
   return 0;
 }

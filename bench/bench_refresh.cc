@@ -18,6 +18,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 struct RefreshRow {
   double read_mean_ms;
   double read_p99_ms;
@@ -64,6 +66,7 @@ RefreshRow RunOne(bool refresh_on) {
   writer_opts.run_length = Duration::Seconds(300);
   writer_opts.value_size = 16 * 1024;
   WorkloadStats writer_stats;
+  writer_stats.RegisterWith(&cluster.metrics(), {{"client", "writer"}});
   SuiteStoreAdapter writer_store(writer);
 
   WorkloadOptions reader_opts;
@@ -71,6 +74,7 @@ RefreshRow RunOne(bool refresh_on) {
   reader_opts.mean_think_time = Duration::Millis(100);
   reader_opts.run_length = Duration::Seconds(300);
   WorkloadStats reader_stats;
+  reader_stats.RegisterWith(&cluster.metrics(), {{"client", "reader"}});
   SuiteStoreAdapter reader_store(reader);
 
   cluster.net().ResetStats();
@@ -88,12 +92,14 @@ RefreshRow RunOne(bool refresh_on) {
       cluster.representative("srv-b")->stats().data_reads - b_reads_before;
   row.stale_fetches = reader_stats.reads_ok > b_reads ? reader_stats.reads_ok - b_reads : 0;
   row.bytes = cluster.net().stats().bytes_sent;
+  DumpMetrics(cluster.metrics(), g_metrics, refresh_on ? "refresh=on" : "refresh=off");
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   std::printf("E9: background refresh ablation\n");
   std::printf("writer installs at {a,c}; reader's local rep b is stale unless refreshed\n");
   std::printf("reader RTTs: a=500ms b=20ms c=120ms; 16KiB file; ~1 write / 20 reads\n\n");

@@ -9,15 +9,51 @@
 #define WVOTE_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/analysis/gifford_examples.h"
 #include "src/core/cluster.h"
-#include "src/workload/histogram.h"
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
 
 namespace wvote {
+
+// --metrics[=text|json] support: every bench accepts the flag and dumps a
+// registry snapshot per scenario, so BENCH_*.json trajectories come from the
+// unified metrics layer instead of hand-rolled prints.
+enum class MetricsMode { kNone, kText, kJson };
+
+inline MetricsMode ParseMetricsMode(int argc, char** argv) {
+  MetricsMode mode = MetricsMode::kNone;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0 || std::strcmp(argv[i], "--metrics=text") == 0) {
+      mode = MetricsMode::kText;
+    } else if (std::strcmp(argv[i], "--metrics=json") == 0) {
+      mode = MetricsMode::kJson;
+    }
+  }
+  return mode;
+}
+
+// Prints one snapshot of `registry`, tagged so sweeps emit one record per
+// scenario: text mode as a delimited block, JSON mode as a single line
+// (one JSON object per scenario — trivially machine-collectable).
+inline void DumpMetrics(const MetricsRegistry& registry, MetricsMode mode,
+                        const std::string& tag) {
+  if (mode == MetricsMode::kNone) {
+    return;
+  }
+  if (mode == MetricsMode::kText) {
+    std::printf("=== metrics [%s] ===\n%s=== end metrics ===\n", tag.c_str(),
+                registry.ExportText().c_str());
+  } else {
+    std::printf("{\"metrics_tag\":\"%s\",\"metrics\":%s}\n", tag.c_str(),
+                registry.ExportJson().c_str());
+  }
+}
 
 struct ExampleDeployment {
   std::unique_ptr<Cluster> cluster;

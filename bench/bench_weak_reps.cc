@@ -16,6 +16,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
+MetricsMode g_metrics = MetricsMode::kNone;
+
 struct Row {
   double read_latency_ms;
   double hit_rate;
@@ -51,6 +53,7 @@ Row RunOne(double write_fraction, bool with_cache) {
   reader_opts.mean_think_time = Duration::Millis(200);
   reader_opts.run_length = Duration::Seconds(120);
   WorkloadStats reader_stats;
+  reader_stats.RegisterWith(&cluster.metrics(), {{"client", "reader"}});
   SuiteStoreAdapter reader_store(reader);
 
   WorkloadOptions writer_opts;
@@ -80,12 +83,17 @@ Row RunOne(double write_fraction, bool with_cache) {
                            static_cast<double>(cache->hits + cache->misses)
                      : 0.0;
   row.bytes = cluster.net().stats().bytes_sent;
+  char tag[48];
+  std::snprintf(tag, sizeof(tag), "wf=%.2f cache=%s", write_fraction,
+                with_cache ? "on" : "off");
+  DumpMetrics(cluster.metrics(), g_metrics, tag);
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  g_metrics = ParseMetricsMode(argc, argv);
   std::printf("E4: weak representative (client-side cache) under increasing update rate\n");
   std::printf("64KiB file, reader 150ms RTT from the voting representative\n\n");
   std::printf("%-22s | %-34s | %-34s\n", "", "without weak rep", "with weak rep");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/cluster.h"
+#include "src/obs/metrics.h"
 #include "src/workload/fault_injector.h"
 #include "src/workload/generator.h"
 
@@ -53,6 +54,8 @@ struct Args {
   double availability = 1.0;     // < 1.0 enables crash injection
   uint64_t seed = 42;
   QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
+  bool metrics = false;
+  bool metrics_json = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -99,6 +102,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
         return false;
       }
+    } else if (flag == "--metrics" || flag == "--metrics=text") {
+      args->metrics = true;
+    } else if (flag == "--metrics=json") {
+      args->metrics = true;
+      args->metrics_json = true;
     } else if (flag == "--help" || flag == "-h") {
       return false;
     } else {
@@ -121,7 +129,8 @@ int main(int argc, char** argv) {
                  "usage: %s [--reps N] [--votes v1,v2,..] [--r R] [--w W]\n"
                  "          [--latency-ms l1,l2,..] [--read-fraction F] [--clients C]\n"
                  "          [--seconds S] [--value-bytes B] [--availability P]\n"
-                 "          [--seed X] [--strategy lowest|fewest|broadcast]\n",
+                 "          [--seed X] [--strategy lowest|fewest|broadcast]\n"
+                 "          [--metrics[=json]]\n",
                  argv[0]);
     return 2;
   }
@@ -172,6 +181,8 @@ int main(int argc, char** argv) {
           LatencyModel::Fixed(rtt / 2));
     }
     stores.push_back(std::make_unique<SuiteStoreAdapter>(client));
+    stats[static_cast<size_t>(c)].RegisterWith(
+        &cluster.metrics(), {{"client", "client-" + std::to_string(c)}});
     WorkloadOptions wopts;
     wopts.read_fraction = args.read_fraction;
     wopts.mean_think_time = Duration::Millis(100);
@@ -206,5 +217,13 @@ int main(int argc, char** argv) {
   std::printf("  network: %llu messages, %.2f MB\n",
               static_cast<unsigned long long>(net.messages_sent),
               static_cast<double>(net.bytes_sent) / 1e6);
+  if (args.metrics) {
+    if (args.metrics_json) {
+      std::printf("%s\n", cluster.metrics().ExportJson().c_str());
+    } else {
+      std::printf("\n=== metrics ===\n%s=== end metrics ===\n",
+                  cluster.metrics().ExportText().c_str());
+    }
+  }
   return 0;
 }

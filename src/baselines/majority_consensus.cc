@@ -101,6 +101,22 @@ MajorityConsensusStore::MajorityConsensusStore(RpcEndpoint* rpc, std::string nam
     : rpc_(rpc), name_(std::move(name)), replicas_(std::move(replicas)),
       rpc_timeout_(rpc_timeout) {}
 
+void MajorityConsensusStats::RegisterWith(MetricsRegistry* registry,
+                                          const MetricLabels& labels) {
+  registry->RegisterCounter("baseline.majority_consensus.reads", labels, &reads);
+  registry->RegisterCounter("baseline.majority_consensus.writes", labels, &writes);
+  registry->RegisterCounter("baseline.majority_consensus.read_quorum_failures", labels,
+                            &read_quorum_failures);
+  registry->RegisterCounter("baseline.majority_consensus.write_quorum_failures", labels,
+                            &write_quorum_failures);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void MajorityConsensusStore::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry,
+                      {{"host", rpc_->host()->name()}, {"object", name_}});
+}
+
 uint64_t MajorityConsensusStore::NextTimestamp() {
   // (simulated time, host id) pairs are unique and monotone per client;
   // max() with last_ts_+1 keeps them monotone even within one microsecond.

@@ -83,6 +83,11 @@ struct MajorityConsensusStats {
   uint64_t writes = 0;
   uint64_t read_quorum_failures = 0;
   uint64_t write_quorum_failures = 0;
+
+  void Reset() { *this = MajorityConsensusStats{}; }
+  // Registers every field as `baseline.majority_consensus.*{labels}`; this
+  // struct must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 // Client: majority reads and majority timestamped writes.
@@ -96,6 +101,10 @@ class MajorityConsensusStore : public ReplicatedStore {
   const char* SchemeName() const override { return "majority-consensus"; }
 
   const MajorityConsensusStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this store's counters, labeled by client host and object name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   uint64_t NextTimestamp();

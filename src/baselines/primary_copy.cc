@@ -20,6 +20,21 @@ PrimaryCopyStore::PrimaryCopyStore(SuiteClient* client, std::vector<HostId> back
                                    PrimaryCopyReadMode read_mode)
     : client_(client), backups_(std::move(backup_hosts)), read_mode_(read_mode) {}
 
+void PrimaryCopyStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("baseline.primary_copy.writes", labels, &writes);
+  registry->RegisterCounter("baseline.primary_copy.reads_primary", labels, &reads_primary);
+  registry->RegisterCounter("baseline.primary_copy.reads_backup", labels, &reads_backup);
+  registry->RegisterCounter("baseline.primary_copy.propagations", labels, &propagations);
+  registry->RegisterCounter("baseline.primary_copy.stale_backup_reads", labels,
+                            &stale_backup_reads);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void PrimaryCopyStore::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", client_->rpc()->host()->name()},
+                                 {"suite", client_->config().suite_name}});
+}
+
 Task<Result<std::string>> PrimaryCopyStore::Read() {
   if (read_mode_ == PrimaryCopyReadMode::kPrimary) {
     ++stats_.reads_primary;

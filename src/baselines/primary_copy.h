@@ -33,6 +33,11 @@ struct PrimaryCopyStats {
   uint64_t reads_backup = 0;
   uint64_t propagations = 0;
   uint64_t stale_backup_reads = 0;  // backup read returned an older version
+
+  void Reset() { *this = PrimaryCopyStats{}; }
+  // Registers every field as `baseline.primary_copy.*{labels}`; this struct
+  // must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class PrimaryCopyStore : public ReplicatedStore {
@@ -48,6 +53,10 @@ class PrimaryCopyStore : public ReplicatedStore {
   const char* SchemeName() const override { return "primary-copy"; }
 
   const PrimaryCopyStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this store's counters, labeled by client host and suite.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   SuiteClient* client_;

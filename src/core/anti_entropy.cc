@@ -4,6 +4,14 @@
 
 namespace wvote {
 
+void AntiEntropyStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("core.anti_entropy.rounds", labels, &rounds);
+  registry->RegisterCounter("core.anti_entropy.pushes", labels, &pushes);
+  registry->RegisterCounter("core.anti_entropy.pulls", labels, &pulls);
+  registry->RegisterCounter("core.anti_entropy.in_sync", labels, &in_sync);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
 Task<void> RunAntiEntropy(RepresentativeServer* server, std::string suite,
                           std::vector<HostId> peers, AntiEntropyOptions options,
                           AntiEntropyStats* stats) {

@@ -34,6 +34,11 @@ struct AntiEntropyStats {
   uint64_t pushes = 0;   // newer copy shipped to a peer
   uint64_t pulls = 0;    // newer copy fetched from a peer
   uint64_t in_sync = 0;  // versions already matched
+
+  void Reset() { *this = AntiEntropyStats{}; }
+  // Registers every field as `core.anti_entropy.*{labels}` (callers label by
+  // host and suite); this struct must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 // Runs the gossip loop for `suite` on `server`, exchanging with `peers`

@@ -8,12 +8,14 @@ Cluster::Cluster(ClusterOptions options)
     : options_(options), sim_(options.seed), trace_(&sim_), net_(&sim_) {
   net_.SetDefaultLink(options_.default_link);
   net_.SetTraceLog(&trace_);
+  net_.RegisterMetrics(&metrics_);
 }
 
 RepresentativeServer* Cluster::AddRepresentative(const std::string& host_name) {
   WVOTE_CHECK_MSG(reps_.find(host_name) == reps_.end(), "duplicate representative host");
   Host* host = net_.AddHost(host_name);
   auto server = std::make_unique<RepresentativeServer>(&net_, host, options_.rep_options);
+  server->RegisterMetrics(&metrics_);
   RepresentativeServer* raw = server.get();
   reps_[host_name] = std::move(server);
   return raw;
@@ -30,14 +32,19 @@ SuiteClient* Cluster::AddClient(const std::string& host_name, const SuiteConfig&
         std::make_unique<StableStore>(&sim_, host, options_.rep_options.disk_write_latency,
                                       options_.rep_options.disk_read_latency);
     stack.coordinator = std::make_unique<Coordinator>(stack.rpc.get(), stack.store.get());
+    stack.rpc->RegisterMetrics(&metrics_);
+    stack.store->RegisterMetrics(&metrics_);
+    stack.coordinator->RegisterMetrics(&metrics_);
     it = clients_.emplace(host_name, std::move(stack)).first;
   }
   ClientStack& stack = it->second;
   if (with_cache && !stack.cache) {
     stack.cache = std::make_unique<WeakRepresentative>(stack.rpc->host());
+    stack.cache->RegisterMetrics(&metrics_);
   }
   auto client = std::make_unique<SuiteClient>(&net_, stack.rpc.get(), stack.coordinator.get(),
                                               config, client_options);
+  client->RegisterMetrics(&metrics_);
   if (with_cache) {
     client->AttachCache(stack.cache.get());
   }

@@ -19,6 +19,7 @@
 #include "src/core/suite_client.h"
 #include "src/core/weak_rep.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
 
@@ -37,6 +38,12 @@ class Cluster {
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
   TraceLog& trace() { return trace_; }
+
+  // The cluster-wide metrics registry. Every component added through this
+  // cluster (network, representatives, client stacks) registers its stats
+  // here automatically; snapshot/export it for benches and tests.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // Adds a file-server host running a RepresentativeServer.
   RepresentativeServer* AddRepresentative(const std::string& host_name);
@@ -93,6 +100,10 @@ class Cluster {
   };
 
   ClusterOptions options_;
+  // Declared first so it outlives every component that registers into it
+  // (the registry destructor never reads its sources; snapshots can only be
+  // taken while the cluster — and thus every source — is alive).
+  MetricsRegistry metrics_;
   Simulator sim_;
   TraceLog trace_;
   Network net_;

@@ -13,6 +13,23 @@ RepresentativeServer::RepresentativeServer(Network* net, Host* host,
   RegisterHandlers();
 }
 
+void RepresentativeStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("core.representative.version_polls", labels, &version_polls);
+  registry->RegisterCounter("core.representative.data_reads", labels, &data_reads);
+  registry->RegisterCounter("core.representative.refreshes_installed", labels,
+                            &refreshes_installed);
+  registry->RegisterCounter("core.representative.refreshes_skipped", labels,
+                            &refreshes_skipped);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void RepresentativeServer::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", host()->name()}});
+  rpc_.RegisterMetrics(registry);
+  store_.RegisterMetrics(registry);
+  participant_.RegisterMetrics(registry);
+}
+
 Task<Status> RepresentativeServer::BootstrapSuite(SuiteConfig config, VersionedValue initial) {
   Status st = config.Validate();
   if (!st.ok()) {

@@ -37,6 +37,11 @@ struct RepresentativeStats {
   uint64_t data_reads = 0;
   uint64_t refreshes_installed = 0;
   uint64_t refreshes_skipped = 0;
+
+  void Reset() { *this = RepresentativeStats{}; }
+  // Registers every field as `core.representative.*{labels}`; this struct
+  // must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class RepresentativeServer {
@@ -48,6 +53,12 @@ class RepresentativeServer {
   Participant& participant() { return participant_; }
   StableStore& store() { return store_; }
   const RepresentativeStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this server's whole stack — its own counters plus its RPC
+  // endpoint's, stable store's, participant's, and lock manager's — all
+  // labeled by host name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
   // Durably installs a suite's prefix and initial value on this server.
   // Used at deployment time and when a reconfiguration adds this server.

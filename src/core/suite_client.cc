@@ -107,6 +107,27 @@ SuiteClient::SuiteClient(Network* net, RpcEndpoint* rpc, Coordinator* coordinato
   WVOTE_CHECK_MSG(config_.Validate().ok(), "invalid suite config");
 }
 
+void SuiteClientStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("core.suite_client.reads", labels, &reads);
+  registry->RegisterCounter("core.suite_client.writes", labels, &writes);
+  registry->RegisterCounter("core.suite_client.commits", labels, &commits);
+  registry->RegisterCounter("core.suite_client.aborts", labels, &aborts);
+  registry->RegisterCounter("core.suite_client.cache_hits", labels, &cache_hits);
+  registry->RegisterCounter("core.suite_client.probes_sent", labels, &probes_sent);
+  registry->RegisterCounter("core.suite_client.gather_rounds", labels, &gather_rounds);
+  registry->RegisterCounter("core.suite_client.config_refreshes", labels, &config_refreshes);
+  registry->RegisterCounter("core.suite_client.refreshes_spawned", labels,
+                            &refreshes_spawned);
+  registry->RegisterCounter("core.suite_client.unavailable", labels, &unavailable);
+  registry->RegisterCounter("core.suite_client.conflicts", labels, &conflicts);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void SuiteClient::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", rpc_->host()->name()},
+                                 {"suite", config_.suite_name}});
+}
+
 SuiteTransaction SuiteClient::Begin() {
   auto state = std::make_shared<SuiteTransaction::State>();
   state->client = this;

@@ -64,6 +64,11 @@ struct SuiteClientStats {
   uint64_t refreshes_spawned = 0;
   uint64_t unavailable = 0;
   uint64_t conflicts = 0;
+
+  void Reset() { *this = SuiteClientStats{}; }
+  // Registers every field as `core.suite_client.*{labels}`; this struct
+  // must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class SuiteClient;
@@ -131,7 +136,11 @@ class SuiteClient {
 
   const SuiteConfig& config() const { return config_; }
   const SuiteClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
   RpcEndpoint* rpc() { return rpc_; }
+
+  // Registers this client's counters, labeled by host and suite name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   friend class SuiteTransaction;

@@ -18,6 +18,7 @@
 
 #include "src/core/types.h"
 #include "src/net/host.h"
+#include "src/obs/metrics.h"
 
 namespace wvote {
 
@@ -25,6 +26,16 @@ struct WeakRepStats {
   uint64_t hits = 0;     // version-checked local serves
   uint64_t misses = 0;   // stale or absent; bulk fetch required
   uint64_t updates = 0;  // entries installed/refreshed
+
+  void Reset() { *this = WeakRepStats{}; }
+  // Registers every field as `core.weak_rep.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {}) {
+    registry->RegisterCounter("core.weak_rep.hits", labels, &hits);
+    registry->RegisterCounter("core.weak_rep.misses", labels, &misses);
+    registry->RegisterCounter("core.weak_rep.updates", labels, &updates);
+    registry->AddResetHook([this]() { Reset(); });
+  }
 };
 
 class WeakRepresentative {
@@ -58,6 +69,12 @@ class WeakRepresentative {
   void Invalidate(const std::string& suite) { cache_.erase(suite); }
 
   const WeakRepStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this cache's counters, labeled by host name.
+  void RegisterMetrics(MetricsRegistry* registry) {
+    stats_.RegisterWith(registry, {{"host", host_->name()}});
+  }
 
  private:
   Host* host_;

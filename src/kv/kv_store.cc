@@ -4,6 +4,21 @@
 
 namespace wvote {
 
+void KvStoreStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("kv.store.gets", labels, &gets);
+  registry->RegisterCounter("kv.store.puts", labels, &puts);
+  registry->RegisterCounter("kv.store.deletes", labels, &deletes);
+  registry->RegisterCounter("kv.store.batches", labels, &batches);
+  registry->RegisterCounter("kv.store.cas_failures", labels, &cas_failures);
+  registry->RegisterCounter("kv.store.retries", labels, &retries);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void ReplicatedKvStore::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", client_->rpc()->host()->name()},
+                                 {"suite", client_->config().suite_name}});
+}
+
 std::string ReplicatedKvStore::SerializeMap(const std::map<std::string, std::string>& map) {
   BufferWriter w;
   w.WriteU32(static_cast<uint32_t>(map.size()));

@@ -33,6 +33,11 @@ struct KvStoreStats {
   uint64_t batches = 0;
   uint64_t cas_failures = 0;
   uint64_t retries = 0;
+
+  void Reset() { *this = KvStoreStats{}; }
+  // Registers every field as `kv.store.*{labels}`; this struct must outlive
+  // `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class ReplicatedKvStore {
@@ -63,6 +68,10 @@ class ReplicatedKvStore {
   Task<Result<std::vector<std::string>>> ListKeys();
 
   const KvStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this store's counters, labeled by host and backing suite.
+  void RegisterMetrics(MetricsRegistry* registry);
 
   // Map <-> bytes; exposed for tests and for seeding initial suite contents.
   static std::string SerializeMap(const std::map<std::string, std::string>& map);

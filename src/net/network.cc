@@ -10,6 +10,23 @@ Network::Network(Simulator* sim) : sim_(sim) {
   default_link_.latency = LatencyModel::Fixed(Duration::Millis(1));
 }
 
+void NetworkStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("net.network.messages_sent", labels, &messages_sent);
+  registry->RegisterCounter("net.network.messages_delivered", labels, &messages_delivered);
+  registry->RegisterCounter("net.network.dropped_source_down", labels, &dropped_source_down);
+  registry->RegisterCounter("net.network.dropped_dest_down", labels, &dropped_dest_down);
+  registry->RegisterCounter("net.network.dropped_partition", labels, &dropped_partition);
+  registry->RegisterCounter("net.network.dropped_loss", labels, &dropped_loss);
+  registry->RegisterCounter("net.network.bytes_sent", labels, &bytes_sent);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void Network::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry);
+  registry->RegisterGauge("net.network.num_hosts", {},
+                          [this]() { return static_cast<double>(hosts_.size()); });
+}
+
 Host* Network::AddHost(const std::string& name) {
   const HostId id = static_cast<HostId>(hosts_.size());
   hosts_.push_back(std::make_unique<Host>(id, name, sim_->rng().Fork()));

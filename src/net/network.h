@@ -25,6 +25,7 @@
 #include "src/common/status.h"
 #include "src/net/host.h"
 #include "src/net/message.h"
+#include "src/obs/metrics.h"
 #include "src/sim/latency.h"
 #include "src/sim/simulator.h"
 #include "src/trace/trace.h"
@@ -39,6 +40,11 @@ struct NetworkStats {
   uint64_t dropped_partition = 0;
   uint64_t dropped_loss = 0;
   uint64_t bytes_sent = 0;
+
+  void Reset() { *this = NetworkStats{}; }
+  // Registers every field as `net.network.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class Network {
@@ -76,7 +82,10 @@ class Network {
   void Send(HostId from, HostId to, std::any payload, size_t approx_bytes = 128);
 
   const NetworkStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = NetworkStats{}; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this network's counters (unlabeled: one network per sim).
+  void RegisterMetrics(MetricsRegistry* registry);
 
   // Optional protocol tracing; events from hosts and higher layers flow
   // into the same log. The log must outlive the network.

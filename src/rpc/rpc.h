@@ -49,6 +49,18 @@ struct RpcStats {
   uint64_t calls_timeout = 0;
   uint64_t calls_aborted = 0;
   uint64_t requests_handled = 0;
+
+  void Reset() { *this = RpcStats{}; }
+  // Registers every field as `rpc.endpoint.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {}) {
+    registry->RegisterCounter("rpc.endpoint.calls_started", labels, &calls_started);
+    registry->RegisterCounter("rpc.endpoint.calls_ok", labels, &calls_ok);
+    registry->RegisterCounter("rpc.endpoint.calls_timeout", labels, &calls_timeout);
+    registry->RegisterCounter("rpc.endpoint.calls_aborted", labels, &calls_aborted);
+    registry->RegisterCounter("rpc.endpoint.requests_handled", labels, &requests_handled);
+    registry->AddResetHook([this]() { Reset(); });
+  }
 };
 
 class RpcEndpoint {
@@ -66,6 +78,12 @@ class RpcEndpoint {
   Network* network() { return net_; }
   Simulator* sim() { return net_->sim(); }
   const RpcStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this endpoint's counters, labeled by host name.
+  void RegisterMetrics(MetricsRegistry* registry) {
+    stats_.RegisterWith(registry, {{"host", host_->name()}});
+  }
 
   // Registers the handler for requests of type Req. The handler runs as a
   // detached coroutine on this host; its Result is sent back as the reply

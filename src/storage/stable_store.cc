@@ -11,6 +11,21 @@ StableStore::StableStore(Simulator* sim, Host* host, LatencyModel write_latency,
                          LatencyModel read_latency)
     : sim_(sim), host_(host), write_latency_(write_latency), read_latency_(read_latency) {}
 
+void StableStoreStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("storage.stable_store.writes_started", labels, &writes_started);
+  registry->RegisterCounter("storage.stable_store.writes_completed", labels,
+                            &writes_completed);
+  registry->RegisterCounter("storage.stable_store.writes_torn", labels, &writes_torn);
+  registry->RegisterCounter("storage.stable_store.reads", labels, &reads);
+  registry->RegisterCounter("storage.stable_store.recoveries_from_torn_slot", labels,
+                            &recoveries_from_torn_slot);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void StableStore::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", host_->name()}});
+}
+
 int StableStore::CommittedSlot(const Page& page) {
   int best = -1;
   for (int i = 0; i < 2; ++i) {

@@ -27,6 +27,7 @@
 
 #include "src/common/status.h"
 #include "src/net/host.h"
+#include "src/obs/metrics.h"
 #include "src/sim/latency.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -39,6 +40,11 @@ struct StableStoreStats {
   uint64_t writes_torn = 0;  // in-flight writes lost to a crash
   uint64_t reads = 0;
   uint64_t recoveries_from_torn_slot = 0;
+
+  void Reset() { *this = StableStoreStats{}; }
+  // Registers every field as `storage.stable_store.*{labels}`; this struct
+  // must outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class StableStore {
@@ -67,6 +73,10 @@ class StableStore {
   std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
 
   const StableStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this store's counters, labeled by host name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   struct Slot {

@@ -25,6 +25,18 @@ Task<void> SendAbortTo(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeou
 
 }  // namespace
 
+void CoordinatorStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("txn.coordinator.begun", labels, &begun);
+  registry->RegisterCounter("txn.coordinator.committed", labels, &committed);
+  registry->RegisterCounter("txn.coordinator.aborted", labels, &aborted);
+  registry->RegisterCounter("txn.coordinator.inquiries_served", labels, &inquiries_served);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void Coordinator::RegisterMetrics(MetricsRegistry* registry) {
+  stats_.RegisterWith(registry, {{"host", rpc_->host()->name()}});
+}
+
 Coordinator::Coordinator(RpcEndpoint* rpc, StableStore* store, CoordinatorOptions options)
     : rpc_(rpc), store_(store), options_(options) {
   rpc_->Handle<DecisionInquiryReq, DecisionResp>(

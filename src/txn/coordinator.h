@@ -29,6 +29,11 @@ struct CoordinatorStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t inquiries_served = 0;
+
+  void Reset() { *this = CoordinatorStats{}; }
+  // Registers every field as `txn.coordinator.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class Coordinator {
@@ -54,6 +59,10 @@ class Coordinator {
   Task<void> AbortTransaction(TxnId txn, std::vector<HostId> participants);
 
   const CoordinatorStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this coordinator's counters, labeled by host name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
  private:
   static std::string DecisionKey(const TxnId& txn);

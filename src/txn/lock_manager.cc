@@ -7,6 +7,22 @@
 
 namespace wvote {
 
+void LockManagerStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("txn.lock_manager.grants_immediate", labels, &grants_immediate);
+  registry->RegisterCounter("txn.lock_manager.grants_after_wait", labels, &grants_after_wait);
+  registry->RegisterCounter("txn.lock_manager.dies", labels, &dies);
+  registry->RegisterCounter("txn.lock_manager.timeouts", labels, &timeouts);
+  registry->RegisterCounter("txn.lock_manager.upgrades", labels, &upgrades);
+  registry->RegisterCounter("txn.lock_manager.leases_expired", labels, &leases_expired);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void LockManager::RegisterMetrics(MetricsRegistry* registry, const MetricLabels& labels) {
+  stats_.RegisterWith(registry, labels);
+  registry->RegisterGauge("txn.lock_manager.locked_keys", labels,
+                          [this]() { return static_cast<double>(table_.size()); });
+}
+
 bool LockManager::Compatible(const Entry& entry, TxnId txn, LockMode mode) {
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
 #include "src/sim/future.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -41,6 +42,11 @@ struct LockManagerStats {
   uint64_t timeouts = 0;  // waiters that gave up
   uint64_t upgrades = 0;  // S -> X upgrades
   uint64_t leases_expired = 0;  // orphaned holders swept by the lease policy
+
+  void Reset() { *this = LockManagerStats{}; }
+  // Registers every field as `txn.lock_manager.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 class LockManager {
@@ -75,6 +81,11 @@ class LockManager {
   bool Holds(TxnId txn, const std::string& key, LockMode mode) const;
   size_t num_locked_keys() const { return table_.size(); }
   const LockManagerStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this table's counters plus a locked-key gauge. The lock
+  // manager has no host identity of its own, so the owner supplies labels.
+  void RegisterMetrics(MetricsRegistry* registry, const MetricLabels& labels);
 
  private:
   struct Holder {

@@ -6,6 +6,26 @@
 
 namespace wvote {
 
+void ParticipantStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("txn.participant.prepares_ok", labels, &prepares_ok);
+  registry->RegisterCounter("txn.participant.prepares_refused", labels, &prepares_refused);
+  registry->RegisterCounter("txn.participant.commits", labels, &commits);
+  registry->RegisterCounter("txn.participant.aborts", labels, &aborts);
+  registry->RegisterCounter("txn.participant.recoveries", labels, &recoveries);
+  registry->RegisterCounter("txn.participant.recovered_committed", labels,
+                            &recovered_committed);
+  registry->RegisterCounter("txn.participant.recovered_in_doubt", labels,
+                            &recovered_in_doubt);
+  registry->RegisterCounter("txn.participant.leases_expired", labels, &leases_expired);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
+void Participant::RegisterMetrics(MetricsRegistry* registry) {
+  const MetricLabels labels{{"host", rpc_->host()->name()}};
+  stats_.RegisterWith(registry, labels);
+  locks_.RegisterMetrics(registry, labels);
+}
+
 Participant::Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOptions options)
     : rpc_(rpc),
       store_(store),

@@ -32,6 +32,11 @@ struct ParticipantStats {
   uint64_t recovered_committed = 0;
   uint64_t recovered_in_doubt = 0;
   uint64_t leases_expired = 0;  // orphaned transactions swept
+
+  void Reset() { *this = ParticipantStats{}; }
+  // Registers every field as `txn.participant.*{labels}`; this struct must
+  // outlive `registry`'s use of it.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 struct ParticipantOptions {
@@ -55,6 +60,11 @@ class Participant {
   LockManager& locks() { return locks_; }
   StableStore& store() { return *store_; }
   const ParticipantStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  // Registers this participant's counters and its lock manager's, labeled
+  // by host name.
+  void RegisterMetrics(MetricsRegistry* registry);
 
   // Key of the durable page backing application object `key`.
   static std::string DataKey(const std::string& key) { return "data/" + key; }

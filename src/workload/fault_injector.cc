@@ -4,6 +4,13 @@
 
 namespace wvote {
 
+void FaultInjectorStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("workload.fault_injector.crashes", labels, &crashes);
+  registry->RegisterGauge("workload.fault_injector.downtime_seconds", labels,
+                          [this]() { return total_downtime.ToSeconds(); });
+  registry->AddResetHook([this]() { Reset(); });
+}
+
 FaultProfile ProfileForAvailability(double availability, Duration mttr) {
   WVOTE_CHECK(availability > 0.0 && availability < 1.0);
   // availability = mttf / (mttf + mttr)  =>  mttf = mttr * a / (1 - a)

@@ -10,6 +10,7 @@
 #define WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_
 
 #include "src/net/host.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 
@@ -18,6 +19,12 @@ namespace wvote {
 struct FaultInjectorStats {
   uint64_t crashes = 0;
   Duration total_downtime;
+
+  void Reset() { *this = FaultInjectorStats{}; }
+  // Registers `workload.fault_injector.*{labels}` (downtime as a gauge in
+  // seconds); this struct must outlive `registry`'s use of it. Callers
+  // label by the injected host.
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 // Cycles `host` until `end` of simulated time; the host is left up.

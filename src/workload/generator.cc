@@ -4,6 +4,16 @@
 
 namespace wvote {
 
+void WorkloadStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
+  registry->RegisterCounter("workload.client.reads_ok", labels, &reads_ok);
+  registry->RegisterCounter("workload.client.writes_ok", labels, &writes_ok);
+  registry->RegisterCounter("workload.client.read_failures", labels, &read_failures);
+  registry->RegisterCounter("workload.client.write_failures", labels, &write_failures);
+  registry->RegisterHistogram("workload.client.read_latency", labels, &read_latency);
+  registry->RegisterHistogram("workload.client.write_latency", labels, &write_latency);
+  registry->AddResetHook([this]() { Reset(); });
+}
+
 void WorkloadStats::MergeFrom(const WorkloadStats& other) {
   reads_ok += other.reads_ok;
   writes_ok += other.writes_ok;

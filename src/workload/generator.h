@@ -12,9 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/histogram.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
-#include "src/workload/histogram.h"
 #include "src/workload/replicated_store.h"
 
 namespace wvote {
@@ -41,6 +42,13 @@ struct WorkloadStats {
   }
   void MergeFrom(const WorkloadStats& other);
   std::string Summary() const;
+
+  void Reset() { *this = WorkloadStats{}; }
+  // Registers counters as `workload.client.*{labels}` and the two latency
+  // histograms; this struct must outlive `registry`'s use of it. Callers
+  // label by client identity (stats from several clients sharing labels
+  // aggregate in snapshots).
+  void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
 };
 
 // Runs one closed-loop client against `store` until `options.run_length` of

@@ -1,0 +1,119 @@
+// Cross-layer consistency: the registry's snapshot must agree with the
+// per-component `stats()` accessors it reads through, and counters from
+// different layers must satisfy the conservation laws a healthy (zero-loss,
+// no-crash) run implies.
+
+#include <gtest/gtest.h>
+
+#include "src/core/cluster.h"
+#include "src/obs/metrics.h"
+
+namespace wvote {
+namespace {
+
+class MetricsConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cluster_ = std::make_unique<Cluster>();
+    for (const char* name : {"rep-a", "rep-b", "rep-c"}) {
+      cluster_->AddRepresentative(name);
+    }
+    config_ = SuiteConfig::MakeUniform("alpha", {"rep-a", "rep-b", "rep-c"},
+                                       /*r=*/2, /*w=*/2);
+    ASSERT_TRUE(cluster_->CreateSuite(config_, "genesis").ok());
+    client_ = cluster_->AddClient("client-1", config_);
+  }
+
+  void RunMixedWorkload(int ops) {
+    for (int i = 0; i < ops; ++i) {
+      ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("v" + std::to_string(i))).ok());
+      ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  SuiteConfig config_;
+  SuiteClient* client_ = nullptr;
+};
+
+TEST_F(MetricsConsistencyTest, SnapshotMatchesStatsAccessors) {
+  RunMixedWorkload(5);
+  MetricsSnapshot snap = cluster_->metrics().Snapshot();
+
+  const SuiteClientStats& cs = client_->stats();
+  EXPECT_EQ(snap.counter("core.suite_client.reads{host=client-1,suite=alpha}"),
+            cs.reads);
+  EXPECT_EQ(snap.counter("core.suite_client.writes{host=client-1,suite=alpha}"),
+            cs.writes);
+  EXPECT_EQ(snap.counter("core.suite_client.commits{host=client-1,suite=alpha}"),
+            cs.commits);
+  EXPECT_EQ(snap.counter("core.suite_client.probes_sent{host=client-1,suite=alpha}"),
+            cs.probes_sent);
+
+  const NetworkStats& net = cluster_->net().stats();
+  EXPECT_EQ(snap.counter("net.network.messages_sent"), net.messages_sent);
+  EXPECT_EQ(snap.counter("net.network.bytes_sent"), net.bytes_sent);
+
+  const RpcStats& rpc = client_->rpc()->stats();
+  EXPECT_EQ(snap.counter("rpc.endpoint.calls_started{host=client-1}"),
+            rpc.calls_started);
+  EXPECT_EQ(snap.counter("rpc.endpoint.calls_ok{host=client-1}"), rpc.calls_ok);
+
+  EXPECT_GT(cs.reads, 0u);
+  EXPECT_GT(net.messages_sent, 0u);
+  EXPECT_GT(rpc.calls_started, 0u);
+}
+
+TEST_F(MetricsConsistencyTest, HealthyRunConservationLaws) {
+  RunMixedWorkload(8);
+  // Drain background refreshes so no RPC is mid-flight when we count.
+  cluster_->sim().RunFor(Duration::Seconds(5));
+  MetricsSnapshot snap = cluster_->metrics().Snapshot();
+
+  // No host is down, no links lose, no partitions: every message sent is
+  // delivered.
+  EXPECT_EQ(snap.counter("net.network.messages_sent"),
+            snap.counter("net.network.messages_delivered"));
+  EXPECT_EQ(snap.SumCounters("net.network.dropped_loss"), 0u);
+  EXPECT_EQ(snap.SumCounters("net.network.dropped_dest_down"), 0u);
+
+  // Each RPC costs one request and one response message, so the network
+  // total is the calls every endpoint started plus the requests every
+  // endpoint answered.
+  EXPECT_EQ(snap.counter("net.network.messages_sent"),
+            snap.SumCounters("rpc.endpoint.calls_started") +
+                snap.SumCounters("rpc.endpoint.requests_handled"));
+
+  // With no timeouts, every started call completes.
+  EXPECT_EQ(snap.SumCounters("rpc.endpoint.calls_started"),
+            snap.SumCounters("rpc.endpoint.calls_ok") +
+                snap.SumCounters("rpc.endpoint.calls_aborted"));
+
+  // The client's commits are exactly its coordinator's committed
+  // transactions — two layers counting the same events.
+  EXPECT_EQ(snap.counter("core.suite_client.commits{host=client-1,suite=alpha}"),
+            snap.counter("txn.coordinator.committed{host=client-1}"));
+}
+
+TEST_F(MetricsConsistencyTest, DeltaIsolatesAPhase) {
+  RunMixedWorkload(3);
+  MetricsSnapshot before = cluster_->metrics().Snapshot();
+  RunMixedWorkload(5);
+  MetricsSnapshot delta = cluster_->metrics().Delta(before);
+  EXPECT_EQ(delta.counter("core.suite_client.writes{host=client-1,suite=alpha}"), 5u);
+  EXPECT_EQ(delta.counter("core.suite_client.reads{host=client-1,suite=alpha}"), 5u);
+}
+
+TEST_F(MetricsConsistencyTest, RegistryResetReachesEveryLayer) {
+  RunMixedWorkload(2);
+  ASSERT_GT(client_->stats().reads, 0u);
+  ASSERT_GT(cluster_->net().stats().messages_sent, 0u);
+  cluster_->metrics().Reset();
+  EXPECT_EQ(client_->stats().reads, 0u);
+  EXPECT_EQ(client_->rpc()->stats().calls_started, 0u);
+  EXPECT_EQ(cluster_->net().stats().messages_sent, 0u);
+  EXPECT_EQ(cluster_->metrics().Snapshot().SumCounters("core.suite_client.reads"), 0u);
+}
+
+}  // namespace
+}  // namespace wvote

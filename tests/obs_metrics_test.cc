@@ -1,0 +1,161 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace wvote {
+namespace {
+
+TEST(MetricKeyTest, BareNameWithoutLabels) {
+  EXPECT_EQ(RenderMetricKey("net.network.messages_sent", {}),
+            "net.network.messages_sent");
+}
+
+TEST(MetricKeyTest, LabelsRenderSorted) {
+  EXPECT_EQ(RenderMetricKey("core.suite_client.probes_sent",
+                            {{"suite", "doc"}, {"host", "client"}}),
+            "core.suite_client.probes_sent{host=client,suite=doc}");
+}
+
+TEST(MetricsRegistryTest, OwnedCounterGetOrCreate) {
+  MetricsRegistry registry;
+  uint64_t* a = registry.Counter("x.y.z");
+  uint64_t* b = registry.Counter("x.y.z");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(*a, 0u);
+  ++*a;
+  *b += 2;
+  EXPECT_EQ(registry.Snapshot().counter("x.y.z"), 3u);
+}
+
+TEST(MetricsRegistryTest, LabelFanOut) {
+  MetricsRegistry registry;
+  uint64_t* client = registry.Counter("rpc.endpoint.calls", {{"host", "client"}});
+  uint64_t* server = registry.Counter("rpc.endpoint.calls", {{"host", "server"}});
+  EXPECT_NE(client, server);
+  *client = 5;
+  *server = 7;
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("rpc.endpoint.calls{host=client}"), 5u);
+  EXPECT_EQ(snap.counter("rpc.endpoint.calls{host=server}"), 7u);
+  EXPECT_EQ(snap.SumCounters("rpc.endpoint.calls"), 12u);
+  EXPECT_TRUE(registry.Contains("rpc.endpoint.calls", {{"host", "client"}}));
+  EXPECT_FALSE(registry.Contains("rpc.endpoint.calls", {{"host", "other"}}));
+}
+
+TEST(MetricsRegistryTest, ExternalCounterReadsThrough) {
+  MetricsRegistry registry;
+  uint64_t source = 0;
+  registry.RegisterCounter("a.b.c", {}, &source);
+  EXPECT_EQ(registry.Snapshot().counter("a.b.c"), 0u);
+  source = 41;
+  EXPECT_EQ(registry.Snapshot().counter("a.b.c"), 41u);
+}
+
+TEST(MetricsRegistryTest, SameKeySourcesAggregateBySummation) {
+  MetricsRegistry registry;
+  uint64_t one = 10;
+  uint64_t two = 32;
+  registry.RegisterCounter("a.b.c", {{"host", "h"}}, &one);
+  registry.RegisterCounter("a.b.c", {{"host", "h"}}, &two);
+  EXPECT_EQ(registry.Snapshot().counter("a.b.c{host=h}"), 42u);
+}
+
+TEST(MetricsRegistryTest, GaugeCallback) {
+  MetricsRegistry registry;
+  double level = 0.25;
+  registry.RegisterGauge("kv.store.fill", {}, [&level]() { return level; });
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauge("kv.store.fill"), 0.25);
+  level = 0.75;
+  EXPECT_DOUBLE_EQ(registry.Snapshot().gauge("kv.store.fill"), 0.75);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotAndMerge) {
+  MetricsRegistry registry;
+  LatencyHistogram h1;
+  LatencyHistogram h2;
+  h1.Record(Duration::Millis(10));
+  h2.Record(Duration::Millis(30));
+  registry.RegisterHistogram("w.c.latency", {}, &h1);
+  registry.RegisterHistogram("w.c.latency", {}, &h2);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.histograms.count("w.c.latency"), 1u);
+  const HistogramSnapshot& hs = snap.histograms.at("w.c.latency");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.mean_us, 20000);
+  EXPECT_EQ(hs.min_us, 10000);
+}
+
+TEST(MetricsRegistryTest, DeltaSubtractsBase) {
+  MetricsRegistry registry;
+  uint64_t* ops = registry.Counter("a.b.ops");
+  LatencyHistogram* lat = registry.Histogram("a.b.latency");
+  *ops = 10;
+  lat->Record(Duration::Millis(1));
+  MetricsSnapshot before = registry.Snapshot();
+  *ops = 17;
+  lat->Record(Duration::Millis(2));
+  lat->Record(Duration::Millis(3));
+  MetricsSnapshot delta = registry.Delta(before);
+  EXPECT_EQ(delta.counter("a.b.ops"), 7u);
+  EXPECT_EQ(delta.histograms.at("a.b.latency").count, 2u);
+  // A key absent from the base counts from zero.
+  uint64_t* fresh = registry.Counter("a.b.new");
+  *fresh = 4;
+  EXPECT_EQ(registry.Delta(before).counter("a.b.new"), 4u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesOwnedAndRunsHooks) {
+  MetricsRegistry registry;
+  uint64_t* owned = registry.Counter("a.b.owned");
+  *owned = 9;
+  uint64_t external = 13;
+  registry.RegisterCounter("a.b.external", {}, &external);
+  registry.AddResetHook([&external]() { external = 0; });
+  registry.Reset();
+  EXPECT_EQ(*owned, 0u);
+  EXPECT_EQ(external, 0u);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("a.b.owned"), 0u);
+  EXPECT_EQ(snap.counter("a.b.external"), 0u);
+}
+
+TEST(MetricsRegistryTest, NumMetricsCountsDistinctKeys) {
+  MetricsRegistry registry;
+  registry.Counter("a.b.c");
+  registry.Counter("a.b.c");  // same key, no new metric
+  registry.Counter("a.b.d");
+  uint64_t src = 0;
+  registry.RegisterCounter("a.b.e", {}, &src);
+  EXPECT_EQ(registry.num_metrics(), 3u);
+}
+
+TEST(MetricsSnapshotTest, TextExportOneLinePerMetric) {
+  MetricsRegistry registry;
+  *registry.Counter("b.first") = 1;
+  *registry.Counter("a.second") = 2;
+  const std::string text = registry.ExportText();
+  // Sorted by key: "a.second" before "b.first".
+  EXPECT_NE(text.find("a.second 2\n"), std::string::npos);
+  EXPECT_NE(text.find("b.first 1\n"), std::string::npos);
+  EXPECT_LT(text.find("a.second"), text.find("b.first"));
+}
+
+TEST(MetricsSnapshotTest, JsonExportIsWellFormed) {
+  MetricsRegistry registry;
+  *registry.Counter("a.ops", {{"host", "h\"q"}}) = 3;
+  *registry.Gauge("a.level") = 1.5;
+  registry.Histogram("a.lat")->Record(Duration::Millis(5));
+  const std::string json = registry.ExportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.ops{host=h\\\"q}\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvote

@@ -55,7 +55,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
   client_opts.max_gather_rounds = 2;
   SuiteClient* client = cluster.AddClient("client", config, client_opts);
 
-  const Duration run = Duration::Seconds(600);
+  const Duration run = SmokeRun(Duration::Seconds(600), Duration::Seconds(20));
   const TimePoint end = cluster.sim().Now() + run;
   const FaultProfile profile = ProfileForAvailability(availability, Duration::Seconds(5));
   for (size_t i = 0; i < scheme.votes.size(); ++i) {
@@ -96,6 +96,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
 
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
   const std::vector<VoteScheme> schemes = {
       {"read-one/write-all", {1, 1, 1, 1, 1}, 1, 5},
       {"majority", {1, 1, 1, 1, 1}, 3, 3},

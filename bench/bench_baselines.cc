@@ -66,12 +66,13 @@ SchemeResult RunWorkload(Cluster& cluster, ReplicatedStore* store, double read_f
   WorkloadOptions wopts;
   wopts.read_fraction = read_fraction;
   wopts.mean_think_time = Duration::Millis(100);
-  wopts.run_length = Duration::Seconds(120);
+  wopts.run_length = SmokeRun(Duration::Seconds(120));
   wopts.value_size = 1024;
   WorkloadStats stats;
   stats.RegisterWith(&cluster.metrics(), {{"client", "client"}});
   Spawn(RunClosedLoopClient(&cluster.sim(), store, wopts, 5, &stats));
-  cluster.sim().RunUntil(cluster.sim().Now() + Duration::Seconds(150));
+  cluster.sim().RunUntil(cluster.sim().Now() + wopts.run_length +
+                         Duration::Seconds(30));
   char tag[96];
   std::snprintf(tag, sizeof(tag), "%s rf=%.2f", store->SchemeName(), read_fraction);
   DumpMetrics(cluster.metrics(), g_metrics, tag);
@@ -93,7 +94,11 @@ std::vector<std::string> ServerNames() {
 SchemeResult RunVotingScheme(const SuiteConfig& config, double read_fraction, uint64_t seed) {
   auto cluster = MakeCluster(seed, true);
   WVOTE_CHECK(cluster->CreateSuite(config, "initial").ok());
-  SuiteClient* client = cluster->AddClient("client", config);
+  // Era comparison: every scheme runs its literal protocol, so voting reads
+  // pay the paper's poll + fetch. The fast path is ablated in E10.
+  SuiteClientOptions copt;
+  copt.fastpath_reads = false;
+  SuiteClient* client = cluster->AddClient("client", config, copt);
   WireClient(*cluster, "client");
   SuiteStoreAdapter store(client);
   return RunWorkload(*cluster, &store, read_fraction);
@@ -103,7 +108,9 @@ SchemeResult RunPrimaryCopy(double read_fraction, uint64_t seed) {
   auto cluster = MakeCluster(seed, true);
   SuiteConfig config = MakeUnreplicatedConfig("bench", "srv-0");
   WVOTE_CHECK(cluster->CreateSuite(config, "initial").ok());
-  SuiteClient* client = cluster->AddClient("client", config);
+  SuiteClientOptions copt;
+  copt.fastpath_reads = false;
+  SuiteClient* client = cluster->AddClient("client", config, copt);
   WireClient(*cluster, "client");
   std::vector<HostId> backups;
   for (int i = 1; i < kNumServers; ++i) {
@@ -144,6 +151,7 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
 
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
   std::printf("E5: schemes compared across the read/write mix\n");
   std::printf("5 replicas, client RTTs {20,40,80,160,320}ms, closed loop, 120s runs\n\n");
   std::printf("%-20s", "scheme");

@@ -19,6 +19,8 @@ using namespace wvote;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
+  const int ops = SmokeIters(50);
   std::printf("E1: Gifford's example file suites — analytic vs simulated\n");
   std::printf("(representative availability 0.99 for blocking probabilities)\n\n");
 
@@ -27,15 +29,20 @@ int main(int argc, char** argv) {
               "write(sim)", "P[r blocked]", "P[w blocked]");
   PrintRule(130);
 
+  // The analytic model describes the literal two-phase read (version poll,
+  // then data fetch); E10 measures the fast-path variant.
+  SuiteClientOptions copts;
+  copts.fastpath_reads = false;
+
   for (const GiffordExample& ex : MakeGiffordExamples(0.99)) {
     VotingAnalysis analysis(ex.model);
 
-    ExampleDeployment dep = DeployExample(ex);
+    ExampleDeployment dep = DeployExample(ex, copts);
     // Warm the cache so Example 1 measures the steady (cached) read path,
     // matching the analytic "cached" column.
     (void)dep.cluster->RunTask(dep.client->ReadOnce());
-    LatencyHistogram reads = TimeReads(*dep.cluster, dep.client, 50);
-    LatencyHistogram writes = TimeWrites(*dep.cluster, dep.client, 50);
+    LatencyHistogram reads = TimeReads(*dep.cluster, dep.client, ops);
+    LatencyHistogram writes = TimeWrites(*dep.cluster, dep.client, ops);
 
     std::string votes;
     for (size_t i = 0; i < ex.model.reps.size(); ++i) {
@@ -54,13 +61,13 @@ int main(int argc, char** argv) {
                 analysis.WriteBlockingProbability());
   }
 
-  std::printf("\nper-example traffic for 50 reads + 50 writes:\n");
+  std::printf("\nper-example traffic for %d reads + %d writes:\n", ops, ops);
   for (const GiffordExample& ex : MakeGiffordExamples(0.99)) {
-    ExampleDeployment dep = DeployExample(ex);
+    ExampleDeployment dep = DeployExample(ex, copts);
     (void)dep.cluster->RunTask(dep.client->ReadOnce());
     dep.cluster->net().ResetStats();
-    (void)TimeReads(*dep.cluster, dep.client, 50);
-    (void)TimeWrites(*dep.cluster, dep.client, 50);
+    (void)TimeReads(*dep.cluster, dep.client, ops);
+    (void)TimeWrites(*dep.cluster, dep.client, ops);
     const NetworkStats& net = dep.cluster->net().stats();
     std::printf("  %-10s messages=%6llu bytes=%9llu cache_hits=%llu\n", ex.name.c_str(),
                 static_cast<unsigned long long>(net.messages_sent),

@@ -28,6 +28,7 @@ struct PartitionResult {
 };
 
 MetricsMode g_metrics = MetricsMode::kNone;
+int g_epochs = 8;
 
 PartitionResult RunOne(int r, int w) {
   ClusterOptions copts;
@@ -52,7 +53,7 @@ PartitionResult RunOne(int r, int w) {
   auto host = [&](const std::string& name) { return cluster.net().FindHost(name)->id(); };
 
   PartitionResult out;
-  for (int epoch = 0; epoch < 8; ++epoch) {
+  for (int epoch = 0; epoch < g_epochs; ++epoch) {
     cluster.net().Partition(
         {{host("srv-0"), host("srv-1"), host("srv-2"), host("client-major")},
          {host("srv-3"), host("srv-4"), host("client-minor")}});
@@ -111,8 +112,11 @@ PartitionResult RunOne(int r, int w) {
 
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
+  g_epochs = SmokeIters(8, 2);
   std::printf("E6: partitions — mutual exclusion and partial operability\n");
-  std::printf("5 servers; partition {0,1,2} vs {3,4}; 8 epochs x 3 ops per side\n\n");
+  std::printf("5 servers; partition {0,1,2} vs {3,4}; %d epochs x 3 ops per side\n\n",
+              g_epochs);
   std::printf("%3s %3s | %14s %14s | %13s %13s | %10s %10s\n", "r", "w", "major writes",
               "minor writes", "major reads", "minor reads", "mutex held", "converged");
   PrintRule(105);

@@ -39,7 +39,7 @@ GiffordExample MakeHeterogeneousSuite(QuorumStrategy strategy) {
   return ex;
 }
 
-void PrintStrategyTable() {
+void PrintStrategyTable(int ops) {
   std::printf("E8: probing-strategy ablation (7 reps, votes 3,2,2,1,1,1,1, r=5, w=7)\n\n");
   std::printf("%-18s | %11s %11s | %14s %12s\n", "strategy", "read mean", "write mean",
               "messages/op", "probes sent");
@@ -49,15 +49,18 @@ void PrintStrategyTable() {
         QuorumStrategy::kBroadcast}) {
     SuiteClientOptions copt;
     copt.strategy = strategy;
+    // Probe-strategy costs on the literal two-phase read; the fast path
+    // (E10) would mask the strategies' fetch-phase differences.
+    copt.fastpath_reads = false;
     GiffordExample ex = MakeHeterogeneousSuite(strategy);
     ExampleDeployment dep = DeployExample(ex, copt);
     dep.cluster->net().ResetStats();
-    LatencyHistogram reads = TimeReads(*dep.cluster, dep.client, 40);
-    LatencyHistogram writes = TimeWrites(*dep.cluster, dep.client, 40);
+    LatencyHistogram reads = TimeReads(*dep.cluster, dep.client, ops);
+    LatencyHistogram writes = TimeWrites(*dep.cluster, dep.client, ops);
     const NetworkStats& net = dep.cluster->net().stats();
     std::printf("%-18s | %9.1fms %9.1fms | %14.1f %12llu\n", QuorumStrategyName(strategy),
                 reads.Mean().ToMillis(), writes.Mean().ToMillis(),
-                static_cast<double>(net.messages_sent) / 80.0,
+                static_cast<double>(net.messages_sent) / (2.0 * ops),
                 static_cast<unsigned long long>(dep.client->stats().probes_sent));
     DumpMetrics(dep.cluster->metrics(), g_metrics, QuorumStrategyName(strategy));
   }
@@ -105,7 +108,8 @@ BENCHMARK(BM_PlanFewestMessages)->Arg(3)->Arg(7)->Arg(15)->Arg(31);
 
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
-  PrintStrategyTable();
+  g_bench_smoke = ParseSmoke(argc, argv);
+  PrintStrategyTable(SmokeIters(40));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -15,6 +15,7 @@ using namespace wvote;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
   const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
   std::printf("E7: reconfiguration under load\n\n");
 
   ClusterOptions copts;
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   WorkloadOptions wopts;
   wopts.read_fraction = 0.8;
   wopts.mean_think_time = Duration::Millis(50);
-  wopts.run_length = Duration::Seconds(60);
+  wopts.run_length = SmokeRun(Duration::Seconds(60), Duration::Seconds(10));
   wopts.value_size = 256;
   WorkloadStats stats;
   stats.RegisterWith(&cluster.metrics(), {{"client", "worker"}});

@@ -42,6 +42,9 @@ RefreshRow RunOne(bool refresh_on) {
 
   SuiteClientOptions copt;
   copt.background_refresh = refresh_on;
+  // Isolate the refresh effect on explicit data fetches; the fast path
+  // (E10) would serve most reads from the probe itself.
+  copt.fastpath_reads = false;
   SuiteClient* writer = cluster.AddClient("writer", config, copt);
   SuiteClient* reader = cluster.AddClient("reader", config, copt);
 
@@ -63,7 +66,7 @@ RefreshRow RunOne(bool refresh_on) {
   WorkloadOptions writer_opts;
   writer_opts.read_fraction = 0.0;
   writer_opts.mean_think_time = Duration::Seconds(2);
-  writer_opts.run_length = Duration::Seconds(300);
+  writer_opts.run_length = SmokeRun(Duration::Seconds(300), Duration::Seconds(20));
   writer_opts.value_size = 16 * 1024;
   WorkloadStats writer_stats;
   writer_stats.RegisterWith(&cluster.metrics(), {{"client", "writer"}});
@@ -72,7 +75,7 @@ RefreshRow RunOne(bool refresh_on) {
   WorkloadOptions reader_opts;
   reader_opts.read_fraction = 1.0;
   reader_opts.mean_think_time = Duration::Millis(100);
-  reader_opts.run_length = Duration::Seconds(300);
+  reader_opts.run_length = SmokeRun(Duration::Seconds(300), Duration::Seconds(20));
   WorkloadStats reader_stats;
   reader_stats.RegisterWith(&cluster.metrics(), {{"client", "reader"}});
   SuiteStoreAdapter reader_store(reader);
@@ -82,7 +85,8 @@ RefreshRow RunOne(bool refresh_on) {
       cluster.representative("srv-b")->stats().data_reads;
   Spawn(RunClosedLoopClient(&cluster.sim(), &writer_store, writer_opts, 41, &writer_stats));
   Spawn(RunClosedLoopClient(&cluster.sim(), &reader_store, reader_opts, 42, &reader_stats));
-  cluster.sim().RunUntil(cluster.sim().Now() + Duration::Seconds(330));
+  cluster.sim().RunUntil(cluster.sim().Now() + reader_opts.run_length +
+                         Duration::Seconds(30));
 
   RefreshRow row{};
   row.read_mean_ms = reader_stats.read_latency.Mean().ToMillis();
@@ -100,6 +104,7 @@ RefreshRow RunOne(bool refresh_on) {
 
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
   std::printf("E9: background refresh ablation\n");
   std::printf("writer installs at {a,c}; reader's local rep b is stale unless refreshed\n");
   std::printf("reader RTTs: a=500ms b=20ms c=120ms; 16KiB file; ~1 write / 20 reads\n\n");

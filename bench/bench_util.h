@@ -38,6 +38,30 @@ inline MetricsMode ParseMetricsMode(int argc, char** argv) {
   return mode;
 }
 
+// --smoke support: the bench-smoke ctest label runs every experiment binary
+// end-to-end with shrunk iteration counts and run lengths, so a broken bench
+// fails CI in seconds instead of rotting until the next full run. Each bench
+// sets `g_bench_smoke` from ParseSmoke() and routes its sizes through
+// SmokeIters() / SmokeRun(); full-size runs are unaffected.
+inline bool g_bench_smoke = false;
+
+inline bool ParseSmoke(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+inline int SmokeIters(int full, int tiny = 5) {
+  return g_bench_smoke ? (full < tiny ? full : tiny) : full;
+}
+
+inline Duration SmokeRun(Duration full, Duration tiny = Duration::Seconds(5)) {
+  return g_bench_smoke ? (full < tiny ? full : tiny) : full;
+}
+
 // Prints one snapshot of `registry`, tagged so sweeps emit one record per
 // scenario: text mode as a delimited block, JSON mode as a single line
 // (one JSON object per scenario — trivially machine-collectable).

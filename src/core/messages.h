@@ -25,12 +25,17 @@
 namespace wvote {
 
 // S-lock the suite at this representative and report its version number.
+// With `want_data`, the representative also piggybacks its committed
+// contents on the reply (read under the S lock it just granted), so a read
+// whose chosen representative turns out current needs no second round trip.
 struct TxnVersionReq {
   TxnId txn;
   std::string suite;
+  bool want_data = false;
 
   TxnVersionReq() = default;
-  TxnVersionReq(TxnId t, std::string s) : txn(t), suite(std::move(s)) {}
+  TxnVersionReq(TxnId t, std::string s, bool w = false)
+      : txn(t), suite(std::move(s)), want_data(w) {}
 };
 
 // X-lock the suite at this representative and report its version number
@@ -58,8 +63,16 @@ struct VersionResp {
   uint64_t config_version = 0;
   int votes = 0;  // this representative's votes under its current prefix
 
+  // Piggybacked contents (TxnVersionReq::want_data only). `has_data`
+  // distinguishes "no data requested/available" from an empty value. The
+  // contents are only usable once a full read quorum proves `version`
+  // current — the client falls back to a data fetch otherwise.
+  bool has_data = false;
+  std::string contents;
+
   VersionResp() = default;
   VersionResp(Version v, uint64_t cv, int n) : version(v), config_version(cv), votes(n) {}
+  size_t ApproxBytes() const { return 64 + contents.size(); }
 };
 
 // Fetch the full committed contents under an already-held lock.

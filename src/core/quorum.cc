@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace wvote {
 
 const char* QuorumStrategyName(QuorumStrategy s) {
@@ -72,6 +74,40 @@ Duration QuorumPlanner::PrefixLatency(const std::vector<QuorumCandidate>& plan, 
     worst = std::max(worst, plan[i].expected_latency);
   }
   return worst;
+}
+
+PlanCache::PlanCache(std::function<Duration(const std::string&)> latency_of,
+                     uint64_t* build_counter)
+    : latency_of_(std::move(latency_of)), build_counter_(build_counter) {}
+
+std::shared_ptr<const std::vector<QuorumCandidate>> PlanCache::Get(const SuiteConfig& config,
+                                                                   QuorumStrategy strategy) {
+  if (!have_config_version_ || config.config_version != config_version_) {
+    Invalidate();
+    have_config_version_ = true;
+    config_version_ = config.config_version;
+  }
+  const size_t slot = static_cast<size_t>(strategy);
+  WVOTE_CHECK(slot < kNumStrategies);
+  if (plans_[slot] == nullptr) {
+    // The preference order is independent of the vote target (see Plan);
+    // the planner itself is rebuilt per config version so latencies are
+    // re-sampled whenever the membership can have changed.
+    QuorumPlanner planner(config, latency_of_);
+    plans_[slot] = std::make_shared<const std::vector<QuorumCandidate>>(
+        planner.Plan(/*required_votes=*/0, strategy));
+    if (build_counter_ != nullptr) {
+      ++*build_counter_;
+    }
+  }
+  return plans_[slot];
+}
+
+void PlanCache::Invalidate() {
+  have_config_version_ = false;
+  for (size_t i = 0; i < kNumStrategies; ++i) {
+    plans_[i] = nullptr;
+  }
 }
 
 }  // namespace wvote

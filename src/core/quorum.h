@@ -21,6 +21,7 @@
 #define WVOTE_SRC_CORE_QUORUM_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,7 +55,9 @@ class QuorumPlanner {
                 std::function<Duration(const std::string&)> latency_of);
 
   // Full preference order of voting representatives for a gather needing
-  // `required_votes`. Weak representatives are never included.
+  // `required_votes`. Weak representatives are never included. The order
+  // depends only on the strategy (required_votes names the caller's goal;
+  // callers probe a prefix and widen on failure).
   std::vector<QuorumCandidate> Plan(int required_votes, QuorumStrategy strategy) const;
 
   // Length of the shortest prefix of `plan` whose votes reach
@@ -67,6 +70,38 @@ class QuorumPlanner {
 
  private:
   std::vector<QuorumCandidate> voting_;
+};
+
+// Memoizes QuorumPlanner plans per (config_version, strategy) so a client
+// builds its latency-sorted preference order once per configuration instead
+// of once per operation. Latencies are sampled when a config version's
+// planner is first built; call Invalidate() if link costs change out of
+// band (reconfiguration is handled automatically via config_version).
+class PlanCache {
+ public:
+  // `latency_of` as in QuorumPlanner. If `build_counter` is non-null it is
+  // incremented once per plan actually built (cache misses only).
+  PlanCache(std::function<Duration(const std::string&)> latency_of,
+            uint64_t* build_counter = nullptr);
+
+  // Cached preference order for `config` under `strategy`; built on first
+  // use and whenever config.config_version changes. Shared ownership: a
+  // caller suspended mid-gather keeps its plan alive even if the cache is
+  // invalidated underneath it.
+  std::shared_ptr<const std::vector<QuorumCandidate>> Get(const SuiteConfig& config,
+                                                          QuorumStrategy strategy);
+
+  // Drops every cached plan (and the planner's sampled latencies).
+  void Invalidate();
+
+ private:
+  static constexpr size_t kNumStrategies = 3;
+
+  std::function<Duration(const std::string&)> latency_of_;
+  uint64_t* build_counter_;
+  bool have_config_version_ = false;
+  uint64_t config_version_ = 0;
+  std::shared_ptr<const std::vector<QuorumCandidate>> plans_[kNumStrategies];
 };
 
 }  // namespace wvote

@@ -16,6 +16,8 @@ RepresentativeServer::RepresentativeServer(Network* net, Host* host,
 void RepresentativeStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
   registry->RegisterCounter("core.representative.version_polls", labels, &version_polls);
   registry->RegisterCounter("core.representative.data_reads", labels, &data_reads);
+  registry->RegisterCounter("core.representative.piggyback_serves", labels,
+                            &piggyback_serves);
   registry->RegisterCounter("core.representative.refreshes_installed", labels,
                             &refreshes_installed);
   registry->RegisterCounter("core.representative.refreshes_skipped", labels,
@@ -88,7 +90,27 @@ void RepresentativeServer::RegisterHandlers() {
         if (!st.ok()) {
           co_return st;
         }
-        co_return MakeVersionResp(req.suite);
+        VersionResp resp = MakeVersionResp(req.suite);
+        if (req.want_data) {
+          // Piggybacked fast path: read the contents under the S lock just
+          // granted (pays the disk read, saves the client a second round
+          // trip). Failure to attach data is not an error — the client
+          // falls back to an explicit fetch.
+          Result<std::string> bytes =
+              co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite));
+          if (bytes.ok()) {
+            Result<VersionedValue> value = VersionedValue::Parse(bytes.value());
+            if (value.ok()) {
+              // Report the version of the very bytes attached, so the
+              // client's currency check covers the piggybacked copy.
+              resp.version = value.value().version;
+              resp.has_data = true;
+              resp.contents = std::move(value.value().contents);
+              ++stats_.piggyback_serves;
+            }
+          }
+        }
+        co_return resp;
       });
 
   rpc_.Handle<LockVersionReq, VersionResp>(

@@ -35,6 +35,7 @@ struct RepresentativeOptions {
 struct RepresentativeStats {
   uint64_t version_polls = 0;
   uint64_t data_reads = 0;
+  uint64_t piggyback_serves = 0;  // version polls answered with contents attached
   uint64_t refreshes_installed = 0;
   uint64_t refreshes_skipped = 0;
 

@@ -25,13 +25,22 @@ struct ProbeOutcome {
 };
 
 Task<ProbeOutcome> SendProbe(RpcEndpoint* rpc, HostId host, QuorumCandidate candidate,
-                             TxnId txn, std::string suite, bool exclusive, Duration timeout) {
-  Result<VersionResp> result =
-      exclusive ? co_await rpc->Call<LockVersionReq, VersionResp>(
-                      host, LockVersionReq{txn, std::move(suite)}, timeout)
-                : co_await rpc->Call<TxnVersionReq, VersionResp>(
-                      host, TxnVersionReq{txn, std::move(suite)}, timeout);
-  co_return ProbeOutcome{std::move(candidate), host, std::move(result)};
+                             TxnId txn, std::string suite, bool exclusive, bool want_data,
+                             Duration timeout) {
+  // if/else, NOT `exclusive ? co_await ... : co_await ...`: GCC 12
+  // miscompiles the conditional operator with co_await in its arms — the
+  // selected arm's result is copied bitwise, so a string payload ends up
+  // aliasing this coroutine's frame. See rule 4 in src/sim/task.h.
+  Result<VersionResp> result = TimeoutError("unprobed");
+  if (exclusive) {
+    result = co_await rpc->Call<LockVersionReq, VersionResp>(
+        host, LockVersionReq{txn, std::move(suite)}, timeout);
+  } else {
+    result = co_await rpc->Call<TxnVersionReq, VersionResp>(
+        host, TxnVersionReq{txn, std::move(suite), want_data}, timeout);
+  }
+  ProbeOutcome outcome(std::move(candidate), host, std::move(result));
+  co_return std::move(outcome);
 }
 
 // Releases locks acquired by a straggler probe that answered after its
@@ -103,7 +112,9 @@ SuiteClient::SuiteClient(Network* net, RpcEndpoint* rpc, Coordinator* coordinato
       rpc_(rpc),
       coordinator_(coordinator),
       config_(std::move(config)),
-      options_(options) {
+      options_(options),
+      plan_cache_([this](const std::string& name) { return LatencyTo(name); },
+                  &stats_.plan_builds) {
   WVOTE_CHECK_MSG(config_.Validate().ok(), "invalid suite config");
 }
 
@@ -113,6 +124,11 @@ void SuiteClientStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("core.suite_client.commits", labels, &commits);
   registry->RegisterCounter("core.suite_client.aborts", labels, &aborts);
   registry->RegisterCounter("core.suite_client.cache_hits", labels, &cache_hits);
+  registry->RegisterCounter("core.suite_client.fastpath_hits", labels, &fastpath_hits);
+  registry->RegisterCounter("core.suite_client.fastpath_misses", labels, &fastpath_misses);
+  registry->RegisterCounter("core.suite_client.fastpath_bytes_saved", labels,
+                            &fastpath_bytes_saved);
+  registry->RegisterCounter("core.suite_client.plan_builds", labels, &plan_builds);
   registry->RegisterCounter("core.suite_client.probes_sent", labels, &probes_sent);
   registry->RegisterCounter("core.suite_client.gather_rounds", labels, &gather_rounds);
   registry->RegisterCounter("core.suite_client.config_refreshes", labels, &config_refreshes);
@@ -136,8 +152,13 @@ SuiteTransaction SuiteClient::Begin() {
 }
 
 HostId SuiteClient::ResolveHost(const std::string& name) const {
+  auto it = host_ids_.find(name);
+  if (it != host_ids_.end()) {
+    return it->second;
+  }
   Host* host = net_->FindHost(name);
   WVOTE_CHECK_MSG(host != nullptr, "unknown representative host");
+  host_ids_.emplace(name, host->id());
   return host->id();
 }
 
@@ -147,10 +168,47 @@ Duration SuiteClient::LatencyTo(const std::string& name) const {
          net_->ExpectedLatency(there, rpc_->host_id());
 }
 
+std::shared_ptr<const std::vector<QuorumCandidate>> SuiteClient::PlanFor(
+    QuorumStrategy strategy) {
+  return plan_cache_.Get(config_, strategy);
+}
+
+void SuiteClient::NoteVersion(const std::string& host_name, Version version) {
+  Version& hint = rep_version_hints_[host_name];
+  hint = std::max(hint, version);
+  hint_version_ = std::max(hint_version_, version);
+}
+
+size_t SuiteClient::PickFastPathTarget(const std::vector<QuorumCandidate>& targets) const {
+  if (targets.empty()) {
+    return targets.size();
+  }
+  // The local weak-rep cache serves for free once the quorum confirms the
+  // version; don't pay for piggybacked bytes it would shadow.
+  if (cache_ != nullptr && hint_version_ > 0 &&
+      cache_->PeekVersion(config_.suite_name) >= hint_version_) {
+    return targets.size();
+  }
+  // Targets arrive in plan-preference order, so the first one whose last
+  // observed version matches the hint is the cheapest likely-current
+  // candidate. With no usable hint, bet on the most-preferred target.
+  if (hint_version_ > 0) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      auto it = rep_version_hints_.find(targets[i].host_name);
+      if (it != rep_version_hints_.end() && it->second >= hint_version_) {
+        return i;
+      }
+    }
+  }
+  return 0;
+}
+
 Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
-    std::shared_ptr<SuiteTransaction::State> state, int required_votes, bool exclusive) {
-  QuorumPlanner planner(config_, [this](const std::string& name) { return LatencyTo(name); });
-  const std::vector<QuorumCandidate> plan = planner.Plan(required_votes, options_.strategy);
+    std::shared_ptr<SuiteTransaction::State> state, int required_votes, bool exclusive,
+    bool want_data) {
+  const std::shared_ptr<const std::vector<QuorumCandidate>> plan_ref =
+      PlanFor(options_.strategy);
+  const std::vector<QuorumCandidate>& plan = *plan_ref;
 
   GatherResult out;
   size_t next_candidate = 0;
@@ -172,14 +230,21 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
     }
     ++stats_.gather_rounds;
 
+    // Piggyback request: only in the first round (widening rounds are the
+    // failure path; their members are rarely the cheapest current copy).
+    const size_t fastpath_target =
+        (want_data && round == 0) ? PickFastPathTarget(targets) : targets.size();
+
     std::vector<Task<ProbeOutcome>> probes;
     probes.reserve(targets.size());
-    for (QuorumCandidate& candidate : targets) {
+    for (size_t i = 0; i < targets.size(); ++i) {
+      QuorumCandidate& candidate = targets[i];
       const HostId host = ResolveHost(candidate.host_name);
       ++stats_.probes_sent;
       state->probed.insert(host);
       probes.push_back(SendProbe(rpc_, host, std::move(candidate), state->txn,
-                                 config_.suite_name, exclusive, options_.probe_timeout));
+                                 config_.suite_name, exclusive, i == fastpath_target,
+                                 options_.probe_timeout));
     }
 
     const int base_votes = out.votes;
@@ -219,6 +284,7 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
         out.current = std::max(out.current, o.result.value().version);
         out.max_config_version =
             std::max(out.max_config_version, o.result.value().config_version);
+        NoteVersion(o.candidate.host_name, o.result.value().version);
         out.replies.push_back(ProbeReply{std::move(o.candidate), o.host,
                                          std::move(o.result.value())});
       } else if (o.result.status().code() == StatusCode::kConflict) {
@@ -249,19 +315,26 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
 
 Task<Result<SuiteReadResp>> SuiteClient::FetchData(
     std::shared_ptr<SuiteTransaction::State> state, const GatherResult& gather) {
-  // Current members, cheapest first — Gifford's "read from the best
-  // up-to-date representative".
+  // Fetch from the cheapest current member — Gifford's "read from the best
+  // up-to-date representative". The candidates already carry their expected
+  // latency from the (latency-ordered) plan, so a min-scan per attempt
+  // suffices; no re-sort. Ties pick the earliest reply, which keeps the
+  // choice stable and deterministic.
   std::vector<const ProbeReply*> members;
   for (const ProbeReply& r : gather.replies) {
     if (r.resp.version == gather.current) {
       members.push_back(&r);
     }
   }
-  std::sort(members.begin(), members.end(), [](const ProbeReply* a, const ProbeReply* b) {
-    return a->candidate.expected_latency < b->candidate.expected_latency;
-  });
 
-  for (const ProbeReply* member : members) {
+  while (!members.empty()) {
+    auto best = std::min_element(members.begin(), members.end(),
+                                 [](const ProbeReply* a, const ProbeReply* b) {
+                                   return a->candidate.expected_latency <
+                                          b->candidate.expected_latency;
+                                 });
+    const ProbeReply* member = *best;
+    members.erase(best);
     Result<SuiteReadResp> data = co_await rpc_->Call<TxnReadSuiteReq, SuiteReadResp>(
         member->host, TxnReadSuiteReq{state->txn, config_.suite_name}, options_.data_timeout);
     if (data.ok()) {
@@ -328,7 +401,8 @@ Task<Result<std::string>> SuiteClient::DoRead(std::shared_ptr<SuiteTransaction::
   }
 
   for (int attempt = 0; attempt <= options_.max_config_retries; ++attempt) {
-    Result<GatherResult> gather = co_await Gather(state, config_.read_quorum, false);
+    Result<GatherResult> gather = co_await Gather(state, config_.read_quorum, false,
+                                                 /*want_data=*/options_.fastpath_reads);
     if (!gather.ok()) {
       if (gather.status().code() == StatusCode::kFailedPrecondition) {
         WVOTE_CO_RETURN_IF_ERROR(co_await RefreshConfigFromPrefix());
@@ -353,6 +427,29 @@ Task<Result<std::string>> SuiteClient::DoRead(std::shared_ptr<SuiteTransaction::
         SpawnRefreshes(gather.value(), current, *cached);
         co_return *cached;
       }
+    }
+
+    if (options_.fastpath_reads) {
+      // Fast path: a probe piggybacked its contents and the gathered quorum
+      // proves that copy current — the read is done in one round trip. This
+      // is exactly Gifford's read rule with the data transfer overlapped
+      // into the version poll; the currency decision is unchanged.
+      for (ProbeReply& r : gather.value().replies) {
+        if (r.resp.has_data && r.resp.version == current) {
+          ++stats_.fastpath_hits;
+          // The avoided fetch reply would have cost SuiteReadResp wire bytes.
+          stats_.fastpath_bytes_saved += 64 + r.resp.contents.size();
+          if (cache_ != nullptr) {
+            cache_->Update(config_.suite_name, current, r.resp.contents);
+          }
+          SpawnRefreshes(gather.value(), current, r.resp.contents);
+          state->read_result = VersionedValue{current, std::move(r.resp.contents)};
+          co_return state->read_result->contents;
+        }
+      }
+      // Piggybacked copy stale, lost, or never requested: pay the explicit
+      // fetch from a proven-current member.
+      ++stats_.fastpath_misses;
     }
 
     Result<SuiteReadResp> data = co_await FetchData(state, gather.value());
@@ -418,6 +515,11 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
                                                          std::move(read_only));
     if (st.ok()) {
       ++stats_.commits;
+      // The write quorum now holds `next`; remember that for future
+      // fast-path targeting.
+      for (const ProbeReply& r : gather.value().replies) {
+        NoteVersion(r.candidate.host_name, next);
+      }
       if (cache_ != nullptr) {
         cache_->Update(config_.suite_name, next, *state->pending_write);
       }
@@ -494,13 +596,12 @@ Task<Status> SuiteClient::RefreshConfigFromPrefix() {
   ++stats_.config_refreshes;
   // Ask every voting representative (lock-free) which prefix version it
   // holds, then fetch the newest prefix.
-  QuorumPlanner planner(config_, [this](const std::string& name) { return LatencyTo(name); });
-  const std::vector<QuorumCandidate> plan =
-      planner.Plan(config_.TotalVotes(), QuorumStrategy::kBroadcast);
+  const std::shared_ptr<const std::vector<QuorumCandidate>> plan =
+      PlanFor(QuorumStrategy::kBroadcast);
 
   uint64_t best_version = config_.config_version;
   HostId best_host = kInvalidHost;
-  for (const QuorumCandidate& candidate : plan) {
+  for (const QuorumCandidate& candidate : *plan) {
     const HostId host = ResolveHost(candidate.host_name);
     Result<VersionResp> resp = co_await rpc_->Call<VersionInquiryReq, VersionResp>(
         host, VersionInquiryReq{config_.suite_name}, options_.probe_timeout);

@@ -48,6 +48,12 @@ struct SuiteClientOptions {
   Duration data_timeout = Duration::Seconds(5);
   QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
   bool background_refresh = true;
+  // Fast-path reads: ask the probe target most likely to be both cheapest
+  // and current to piggyback its contents on the version reply, making the
+  // common-case read one round trip. The piggybacked copy is used only if
+  // the gathered quorum proves it current; otherwise the read falls back to
+  // an explicit data fetch. Never weakens strict-quorum semantics.
+  bool fastpath_reads = true;
   int max_gather_rounds = 4;    // probe-widening rounds per gather
   int max_config_retries = 3;   // prefix-refresh retries per operation
 };
@@ -58,6 +64,10 @@ struct SuiteClientStats {
   uint64_t commits = 0;
   uint64_t aborts = 0;
   uint64_t cache_hits = 0;
+  uint64_t fastpath_hits = 0;         // reads served from piggybacked probe data
+  uint64_t fastpath_misses = 0;       // reads that needed the explicit data fetch
+  uint64_t fastpath_bytes_saved = 0;  // data-fetch reply bytes avoided by piggybacking
+  uint64_t plan_builds = 0;           // quorum plans actually computed (cache misses)
   uint64_t probes_sent = 0;
   uint64_t gather_rounds = 0;
   uint64_t config_refreshes = 0;
@@ -139,6 +149,11 @@ class SuiteClient {
   void ResetStats() { stats_.Reset(); }
   RpcEndpoint* rpc() { return rpc_; }
 
+  // Drops cached quorum plans (and their sampled link latencies). Needed
+  // only when link costs change out of band; reconfiguration invalidates
+  // automatically via the config version.
+  void InvalidatePlanCache() { plan_cache_.Invalidate(); }
+
   // Registers this client's counters, labeled by host and suite name.
   void RegisterMetrics(MetricsRegistry* registry);
 
@@ -155,7 +170,7 @@ class SuiteClient {
 
     ProbeReply() = default;
     ProbeReply(QuorumCandidate c, HostId h, VersionResp r)
-        : candidate(std::move(c)), host(h), resp(r) {}
+        : candidate(std::move(c)), host(h), resp(std::move(r)) {}
   };
   struct GatherResult {
     std::vector<ProbeReply> replies;
@@ -169,10 +184,27 @@ class SuiteClient {
   HostId ResolveHost(const std::string& name) const;
   Duration LatencyTo(const std::string& name) const;
 
+  // Cached preference order for this client's config under `strategy`
+  // (built once per config version; see PlanCache). Shared ownership keeps
+  // a plan alive for gathers suspended across a cache invalidation.
+  std::shared_ptr<const std::vector<QuorumCandidate>> PlanFor(QuorumStrategy strategy);
+
+  // Records a version observed at a representative (probe reply, data
+  // fetch, or this client's own commit) in the version-hint cache.
+  void NoteVersion(const std::string& host_name, Version version);
+
+  // The probe target (index into `targets`) most likely to be both cheapest
+  // and current, judged from the version-hint cache; targets.size() when a
+  // piggyback request is not worth sending (e.g. the local weak-rep cache
+  // already holds the hinted version).
+  size_t PickFastPathTarget(const std::vector<QuorumCandidate>& targets) const;
+
   // Round-based quorum gather; records every lock-holding representative in
-  // the transaction state (including stragglers that reply late).
+  // the transaction state (including stragglers that reply late). With
+  // `want_data`, one first-round probe asks for piggybacked contents.
   Task<Result<GatherResult>> Gather(std::shared_ptr<SuiteTransaction::State> state,
-                                    int required_votes, bool exclusive);
+                                    int required_votes, bool exclusive,
+                                    bool want_data = false);
 
   // Fetches contents from the cheapest current member of `gather`.
   Task<Result<SuiteReadResp>> FetchData(std::shared_ptr<SuiteTransaction::State> state,
@@ -193,6 +225,18 @@ class SuiteClient {
   SuiteClientOptions options_;
   WeakRepresentative* cache_ = nullptr;
   SuiteClientStats stats_;
+  // Quorum plans memoized per (config_version, strategy); counts builds
+  // into stats_.plan_builds.
+  PlanCache plan_cache_;
+  // Host names never remap in the simulated network, so resolution is
+  // memoized for the probe hot path.
+  mutable std::map<std::string, HostId> host_ids_;
+  // Version-hint cache: the newest committed version this client has
+  // evidence of, and the last version observed at each representative.
+  // Purely advisory — used to aim the piggyback request, never to decide
+  // currency (that always takes a quorum).
+  Version hint_version_ = 0;
+  std::map<std::string, Version> rep_version_hints_;
 };
 
 }  // namespace wvote

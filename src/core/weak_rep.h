@@ -56,6 +56,14 @@ class WeakRepresentative {
     return nullptr;
   }
 
+  // Version of the cached copy without a currency claim (0 if absent).
+  // Unlike Lookup this counts no hit/miss — it only lets the client judge
+  // whether a bulk transfer (or a piggybacked one) is likely needed.
+  Version PeekVersion(const std::string& suite) const {
+    auto it = cache_.find(suite);
+    return it == cache_.end() ? 0 : it->second.version;
+  }
+
   // Installs contents observed at `version`; keeps only the newest.
   void Update(const std::string& suite, Version version, std::string contents) {
     VersionedValue& entry = cache_[suite];

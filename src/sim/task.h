@@ -30,6 +30,11 @@
 //      std::move it in.
 //   3. Named lvalues, std::move()d named objects, and constructor-syntax
 //      prvalues (std::string(...), std::make_shared<T>(...)) are all safe.
+//   4. Never put co_await in the arms of a conditional operator
+//      (`c ? co_await a : co_await b`): GCC 12 copies the selected arm's
+//      result bitwise, so a payload owning heap/SSO storage (std::string)
+//      ends up aliasing the coroutine frame — later destruction frees a
+//      pointer into the (freed) frame. Use if/else with assignment instead.
 // ---------------------------------------------------------------------------
 
 #ifndef WVOTE_SRC_SIM_TASK_H_

@@ -48,12 +48,21 @@ TEST_P(ModelEquivalence, SimulatedLatencyMatchesClosedForm) {
   ASSERT_TRUE(config.Validate().ok());
   ASSERT_TRUE(cluster.CreateSuite(config, "contents").ok());
 
-  SuiteClient* client = cluster.AddClient("client", config);
+  // The closed form models the literal two-phase read (version poll, then
+  // data fetch); the fast-path variant is checked separately below.
+  SuiteClientOptions client_options;
+  client_options.fastpath_reads = false;
+  SuiteClient* client = cluster.AddClient("client", config, client_options);
+  SuiteClientOptions fast_options;
+  fast_options.fastpath_reads = true;
+  SuiteClient* fast_client = cluster.AddClient("client-fast", config, fast_options);
   for (size_t i = 0; i < c.rtt_ms.size(); ++i) {
-    cluster.net().SetSymmetricLink(
-        cluster.net().FindHost("client")->id(),
-        cluster.net().FindHost("rep-" + std::to_string(i))->id(),
-        LatencyModel::Fixed(Duration::Millis(c.rtt_ms[i]) / 2));
+    for (const char* who : {"client", "client-fast"}) {
+      cluster.net().SetSymmetricLink(
+          cluster.net().FindHost(who)->id(),
+          cluster.net().FindHost("rep-" + std::to_string(i))->id(),
+          LatencyModel::Fixed(Duration::Millis(c.rtt_ms[i]) / 2));
+    }
   }
 
   VotingAnalysis analysis(model);
@@ -73,6 +82,16 @@ TEST_P(ModelEquivalence, SimulatedLatencyMatchesClosedForm) {
   const double write_ms = (cluster.sim().Now() - t0).ToMillis();
   EXPECT_NEAR(write_ms, analysis.WriteLatencyAllUp().ToMillis(), disk_slop_ms)
       << "write latency diverged from model";
+
+  // Fast-path read: same currency rule, so same bytes — and overlapping the
+  // fetch with the poll can only remove a round trip, never add one.
+  t0 = cluster.sim().Now();
+  Result<std::string> fast_read = cluster.RunTask(fast_client->ReadOnce());
+  ASSERT_TRUE(fast_read.ok());
+  EXPECT_EQ(fast_read.value(), "new contents");
+  const double fast_ms = (cluster.sim().Now() - t0).ToMillis();
+  EXPECT_LE(fast_ms, analysis.ReadLatencyAllUp(false).ToMillis() + disk_slop_ms)
+      << "fast-path read slower than the two-phase model";
 }
 
 INSTANTIATE_TEST_SUITE_P(

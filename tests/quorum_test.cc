@@ -155,5 +155,73 @@ TEST(QuorumStrategyTest, NamesAreStable) {
   EXPECT_STREQ(QuorumStrategyName(QuorumStrategy::kBroadcast), "broadcast");
 }
 
+TEST(PlanCacheTest, ReusesPlanForSameConfigAndStrategy) {
+  SuiteConfig cfg = MakeConfig({{"a", 1}, {"b", 1}, {"c", 1}}, 2, 2);
+  cfg.config_version = 1;
+  uint64_t builds = 0;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(3)},
+                              {"b", Duration::Millis(1)},
+                              {"c", Duration::Millis(2)}}),
+                  &builds);
+  auto p1 = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  auto p2 = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(p1.get(), p2.get());  // same shared plan, not a rebuild
+  EXPECT_EQ(builds, 1u);
+  ASSERT_EQ(p1->size(), 3u);
+  EXPECT_EQ((*p1)[0].host_name, "b");
+}
+
+TEST(PlanCacheTest, StrategiesAreCachedIndependently) {
+  SuiteConfig cfg = MakeConfig({{"a", 2}, {"b", 1}}, 2, 2);
+  cfg.config_version = 1;
+  uint64_t builds = 0;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(9)}, {"b", Duration::Millis(1)}}),
+                  &builds);
+  auto latency = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  auto votes = cache.Get(cfg, QuorumStrategy::kFewestMessages);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_EQ((*latency)[0].host_name, "b");
+  EXPECT_EQ((*votes)[0].host_name, "a");
+  cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  cache.Get(cfg, QuorumStrategy::kFewestMessages);
+  EXPECT_EQ(builds, 2u);  // both still cached
+}
+
+TEST(PlanCacheTest, ConfigVersionChangeInvalidates) {
+  SuiteConfig cfg = MakeConfig({{"a", 1}, {"b", 1}}, 1, 2);
+  cfg.config_version = 1;
+  SuiteConfig next = MakeConfig({{"a", 1}, {"b", 1}, {"c", 1}}, 2, 2);
+  next.config_version = 2;
+
+  uint64_t builds = 0;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(1)},
+                              {"b", Duration::Millis(2)},
+                              {"c", Duration::Millis(3)}}),
+                  &builds);
+  auto old_plan = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(builds, 1u);
+  // A new config version rebuilds...
+  auto new_plan = cache.Get(next, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_EQ(new_plan->size(), 3u);
+  // ...and stays cached under that version.
+  cache.Get(next, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(builds, 2u);
+  // The old shared plan stays valid for holders that outlive the
+  // invalidation (a gather suspended mid-flight).
+  EXPECT_EQ(old_plan->size(), 2u);
+}
+
+TEST(PlanCacheTest, ExplicitInvalidateForcesRebuild) {
+  SuiteConfig cfg = MakeConfig({{"a", 1}}, 1, 1);
+  cfg.config_version = 1;
+  uint64_t builds = 0;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(1)}}), &builds);
+  cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  cache.Invalidate();
+  cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  EXPECT_EQ(builds, 2u);
+}
+
 }  // namespace
 }  // namespace wvote

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/cluster.h"
+#include "src/workload/fault_injector.h"
 
 namespace wvote {
 namespace {
@@ -268,6 +269,172 @@ TEST_F(SuiteClientTest, StatsAccumulate) {
   EXPECT_EQ(client_->stats().writes, 1u);
   EXPECT_EQ(client_->stats().commits, 2u);
   EXPECT_GE(client_->stats().probes_sent, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Fast-path reads: piggybacked contents on version probes.
+// ---------------------------------------------------------------------------
+
+TEST_F(SuiteClientTest, FastPathServesReadInOneRoundTrip) {
+  Deploy(3, 2, 2);
+  for (int i = 0; i < 5; ++i) {
+    Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "v1-contents");
+  }
+  // Every read was served from the piggybacked probe reply: no representative
+  // ever saw an explicit data fetch.
+  EXPECT_EQ(client_->stats().fastpath_hits, 5u);
+  EXPECT_EQ(client_->stats().fastpath_misses, 0u);
+  EXPECT_GT(client_->stats().fastpath_bytes_saved, 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cluster_->representative("rep-" + std::to_string(i))->stats().data_reads, 0u)
+        << "rep-" << i;
+  }
+  // Exactly one probe per round carried data.
+  uint64_t piggybacks = 0;
+  for (int i = 0; i < 3; ++i) {
+    piggybacks += cluster_->representative("rep-" + std::to_string(i))->stats().piggyback_serves;
+  }
+  EXPECT_EQ(piggybacks, 5u);
+}
+
+TEST_F(SuiteClientTest, FastPathDisabledAlwaysFetches) {
+  SuiteClientOptions copts;
+  copts.fastpath_reads = false;
+  Deploy(3, 2, 2, copts);
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  EXPECT_EQ(client_->stats().fastpath_hits, 0u);
+  EXPECT_EQ(client_->stats().fastpath_misses, 0u);
+  uint64_t data_reads = 0;
+  for (int i = 0; i < 3; ++i) {
+    data_reads += cluster_->representative("rep-" + std::to_string(i))->stats().data_reads;
+  }
+  EXPECT_EQ(data_reads, 1u);
+}
+
+TEST_F(SuiteClientTest, FastPathFallsBackWhenCheapestRepIsStale) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  copts.background_refresh = false;  // keep rep-0 stale for the assertion
+  Deploy(3, 2, 2, copts);
+  // Make rep-0 by far the cheapest so every plan prefers it.
+  cluster_->net().SetSymmetricLink(cluster_->net().FindHost("client")->id(),
+                                   cluster_->net().FindHost("rep-0")->id(),
+                                   LatencyModel::Fixed(Duration::Millis(1)));
+  // Write v2 while rep-0 is down: it stays at v1.
+  Rep(0)->Crash();
+  ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("new")).ok());
+  Rep(0)->Restart();
+
+  // A fresh client (no version hints) bets on the cheapest rep — which is
+  // stale. The quorum proves v2 current, so the piggybacked v1 copy must be
+  // rejected and the read must fall back to a proven-current member.
+  SuiteClient* fresh = cluster_->AddClient("fresh-client", config_, copts);
+  Result<std::string> r = cluster_->RunTask(fresh->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "new");
+  EXPECT_EQ(fresh->stats().fastpath_hits, 0u);
+  EXPECT_GE(fresh->stats().fastpath_misses, 1u);
+}
+
+TEST_F(SuiteClientTest, FastPathFallsBackWhenCheapestRepCrashed) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(200);
+  copts.max_gather_rounds = 4;
+  Deploy(3, 2, 2, copts);
+  cluster_->net().SetSymmetricLink(cluster_->net().FindHost("client")->id(),
+                                   cluster_->net().FindHost("rep-0")->id(),
+                                   LatencyModel::Fixed(Duration::Millis(1)));
+  Rep(0)->Crash();
+  // The piggyback target never answers; the widened quorum still proves the
+  // current version and the read is served via the explicit fetch.
+  Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v1-contents");
+  EXPECT_EQ(client_->stats().fastpath_hits, 0u);
+  EXPECT_GE(client_->stats().fastpath_misses, 1u);
+}
+
+TEST_F(SuiteClientTest, FastPathReadsStayCurrentUnderCrashRestartCycles) {
+  SuiteClientOptions copts;
+  copts.probe_timeout = Duration::Millis(150);
+  copts.max_gather_rounds = 4;
+  Deploy(3, 2, 2, copts);
+  // rep-0 flaps for the whole test: probes aimed at it time out mid-read,
+  // and its copy goes stale across every write it misses.
+  Spawn(RunCrashRestartCycle(&cluster_->sim(), Rep(0), /*mttf=*/Duration::Millis(400),
+                             /*mttr=*/Duration::Millis(400),
+                             cluster_->sim().Now() + Duration::Seconds(60), /*seed=*/7));
+  for (int i = 0; i < 10; ++i) {
+    const std::string v = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce(v, /*retries=*/20)).ok()) << v;
+    Result<std::string> r = cluster_->RunTask(client_->ReadOnce(/*retries=*/20));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Strict-quorum rule: never a stale value, fast path or not.
+    EXPECT_EQ(r.value(), v);
+  }
+}
+
+TEST_F(SuiteClientTest, FastPathHitRateHighOnStableReadHeavyWorkload) {
+  Deploy(5, 2, 4);
+  ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("steady")).ok());
+  const int kReads = 100;
+  for (int i = 0; i < kReads; ++i) {
+    Result<std::string> r = cluster_->RunTask(client_->ReadOnce());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), "steady");
+  }
+  const SuiteClientStats& stats = client_->stats();
+  EXPECT_GT(stats.fastpath_hits * 10, static_cast<uint64_t>(kReads) * 9)
+      << "hit rate <= 90%: " << stats.fastpath_hits << "/" << kReads;
+  // The counters are exported through the cluster-wide registry.
+  MetricsSnapshot snap = cluster_->metrics().Snapshot();
+  EXPECT_EQ(snap.SumCounters("core.suite_client.fastpath_hits"), stats.fastpath_hits);
+  EXPECT_EQ(snap.SumCounters("core.suite_client.fastpath_misses"), stats.fastpath_misses);
+}
+
+TEST_F(SuiteClientTest, FetchDataPicksCheapestCurrentRepresentative) {
+  // Regression for the stable min-scan in FetchData: with the fast path off,
+  // the explicit fetch must go to the cheapest current member, not merely
+  // the first or last reply.
+  SuiteClientOptions copts;
+  copts.fastpath_reads = false;
+  copts.strategy = QuorumStrategy::kBroadcast;  // probe everyone
+  Deploy(3, 2, 2, copts);
+  const HostId client_host = cluster_->net().FindHost("client")->id();
+  cluster_->net().SetSymmetricLink(client_host, cluster_->net().FindHost("rep-0")->id(),
+                                   LatencyModel::Fixed(Duration::Millis(9)));
+  cluster_->net().SetSymmetricLink(client_host, cluster_->net().FindHost("rep-1")->id(),
+                                   LatencyModel::Fixed(Duration::Millis(2)));
+  cluster_->net().SetSymmetricLink(client_host, cluster_->net().FindHost("rep-2")->id(),
+                                   LatencyModel::Fixed(Duration::Millis(6)));
+  ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  EXPECT_EQ(cluster_->representative("rep-0")->stats().data_reads, 0u);
+  EXPECT_EQ(cluster_->representative("rep-1")->stats().data_reads, 1u);
+  EXPECT_EQ(cluster_->representative("rep-2")->stats().data_reads, 0u);
+}
+
+TEST_F(SuiteClientTest, PlanCacheBuildsOncePerConfiguration) {
+  Deploy(3, 2, 2);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  }
+  // One strategy, one config version: the preference order was computed once.
+  EXPECT_EQ(client_->stats().plan_builds, 1u);
+
+  // Reconfiguration bumps the config version and invalidates the cache.
+  SuiteConfig next = config_;
+  next.representatives[0].votes = 2;
+  next.read_quorum = 2;
+  next.write_quorum = 4;
+  ASSERT_TRUE(cluster_->RunTask(client_->Reconfigure(next)).ok());
+  const uint64_t builds_after_reconfigure = client_->stats().plan_builds;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster_->RunTask(client_->ReadOnce()).ok());
+  }
+  // Exactly one rebuild under the new configuration, reused by all reads.
+  EXPECT_EQ(client_->stats().plan_builds, builds_after_reconfigure + 1);
 }
 
 }  // namespace

@@ -95,10 +95,12 @@ SchemeResult RunVotingScheme(const SuiteConfig& config, double read_fraction, ui
   auto cluster = MakeCluster(seed, true);
   WVOTE_CHECK(cluster->CreateSuite(config, "initial").ok());
   // Era comparison: every scheme runs its literal protocol, so voting reads
-  // pay the paper's poll + fetch. The fast path is ablated in E10.
+  // pay the paper's poll + fetch and writes the synchronous 3-RTT commit.
+  // The fast path is ablated in E10, async phase 2 in E11.
   SuiteClientOptions copt;
   copt.fastpath_reads = false;
   SuiteClient* client = cluster->AddClient("client", config, copt);
+  cluster->coordinator_of("client")->set_sync_phase2(true);
   WireClient(*cluster, "client");
   SuiteStoreAdapter store(client);
   return RunWorkload(*cluster, &store, read_fraction);
@@ -111,6 +113,7 @@ SchemeResult RunPrimaryCopy(double read_fraction, uint64_t seed) {
   SuiteClientOptions copt;
   copt.fastpath_reads = false;
   SuiteClient* client = cluster->AddClient("client", config, copt);
+  cluster->coordinator_of("client")->set_sync_phase2(true);
   WireClient(*cluster, "client");
   std::vector<HostId> backups;
   for (int i = 1; i < kNumServers; ++i) {

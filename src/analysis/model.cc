@@ -109,14 +109,17 @@ Duration VotingAnalysis::ReadLatencyAllUp(bool cached_locally) const {
   return gather + cheapest;
 }
 
-Duration VotingAnalysis::WriteLatencyAllUp() const {
+Duration VotingAnalysis::WriteLatencyAllUp(bool sync_phase2) const {
   const Duration gather = AllUpQuorumLatency(model_.write_quorum);
   if (gather == Duration::Infinite()) {
     return gather;
   }
-  // Prepare and commit each take a round trip paced by the slowest quorum
-  // member — the same member that paced the gather.
-  return gather * 3;
+  // Prepare takes a round trip paced by the slowest quorum member — the
+  // same member that paced the gather. The commit round trip is on the
+  // client's critical path only in the literal synchronous protocol; with
+  // asynchronous phase 2 the write completes when the coordinator's
+  // decision is durable, right after the prepare acknowledgements.
+  return sync_phase2 ? gather * 3 : gather * 2;
 }
 
 Duration VotingAnalysis::ExpectedQuorumLatency(int required) const {

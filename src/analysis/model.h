@@ -67,9 +67,12 @@ class VotingAnalysis {
   //           current member (skipped when a co-located weak representative
   //           holds the current version);
   //   write = lock/version gather (w votes) + prepare + commit, each paced
-  //           by the slowest write-quorum member.
+  //           by the slowest write-quorum member. With `sync_phase2` false
+  //           the commit round trip leaves the critical path (the decision
+  //           is durable at the coordinator before phase 2 fans out), so a
+  //           committed write costs two round trips instead of three.
   Duration ReadLatencyAllUp(bool cached_locally) const;
-  Duration WriteLatencyAllUp() const;
+  Duration WriteLatencyAllUp(bool sync_phase2 = true) const;
 
   // Expected gather latency conditioned on the quorum being available:
   // E[cheapest-quorum max latency | enough operational votes].

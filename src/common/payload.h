@@ -1,0 +1,63 @@
+// SharedPayload: immutable, reference-counted bulk bytes.
+//
+// A committed suite value travels from the client through the coordinator,
+// the net layer, and every write-quorum participant's prepare message. The
+// bytes never change after serialization, so the hops should share one
+// buffer instead of copying it per quorum member and per message. This
+// wrapper keeps value semantics at every call site (construct from a
+// std::string, compare against one, read through str()) while copies of the
+// payload itself only bump a reference count.
+//
+// The payload is deliberately read-only: there is no mutable accessor, so a
+// buffer can be shared across concurrently in-flight messages safely.
+
+#ifndef WVOTE_SRC_COMMON_PAYLOAD_H_
+#define WVOTE_SRC_COMMON_PAYLOAD_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace wvote {
+
+class SharedPayload {
+ public:
+  SharedPayload() = default;
+  // Implicit by design: every existing call site that built a WriteIntent
+  // from a std::string keeps compiling, but now allocates the buffer once.
+  SharedPayload(std::string bytes)  // NOLINT(google-explicit-constructor)
+      : bytes_(std::make_shared<const std::string>(std::move(bytes))) {}
+  SharedPayload(const char* bytes)  // NOLINT(google-explicit-constructor)
+      : bytes_(std::make_shared<const std::string>(bytes)) {}
+  explicit SharedPayload(std::shared_ptr<const std::string> bytes)
+      : bytes_(std::move(bytes)) {}
+
+  const std::string& str() const { return bytes_ ? *bytes_ : Empty(); }
+  size_t size() const { return bytes_ ? bytes_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  // How many intents/messages currently share the buffer (0 for the empty
+  // default payload); tests use this to prove a commit serialized once.
+  long use_count() const { return bytes_ ? bytes_.use_count() : 0; }
+
+  friend bool operator==(const SharedPayload& a, const SharedPayload& b) {
+    return a.str() == b.str();
+  }
+  friend bool operator==(const SharedPayload& a, const std::string& b) {
+    return a.str() == b;
+  }
+  friend bool operator==(const std::string& a, const SharedPayload& b) {
+    return a == b.str();
+  }
+
+ private:
+  static const std::string& Empty() {
+    static const std::string empty;
+    return empty;
+  }
+
+  std::shared_ptr<const std::string> bytes_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_COMMON_PAYLOAD_H_

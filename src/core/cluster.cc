@@ -31,7 +31,8 @@ SuiteClient* Cluster::AddClient(const std::string& host_name, const SuiteConfig&
     stack.store =
         std::make_unique<StableStore>(&sim_, host, options_.rep_options.disk_write_latency,
                                       options_.rep_options.disk_read_latency);
-    stack.coordinator = std::make_unique<Coordinator>(stack.rpc.get(), stack.store.get());
+    stack.coordinator = std::make_unique<Coordinator>(stack.rpc.get(), stack.store.get(),
+                                                      options_.coordinator_options);
     stack.rpc->RegisterMetrics(&metrics_);
     stack.store->RegisterMetrics(&metrics_);
     stack.coordinator->RegisterMetrics(&metrics_);

@@ -29,6 +29,9 @@ struct ClusterOptions {
   uint64_t seed = 42;
   LatencyModel default_link = LatencyModel::Fixed(Duration::Millis(5));
   RepresentativeOptions rep_options;
+  // Applied to every client host's 2PC coordinator (e.g. sync_phase2 for
+  // runs that must execute the literal 3-RTT commit).
+  CoordinatorOptions coordinator_options;
 };
 
 class Cluster {

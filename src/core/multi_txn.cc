@@ -70,8 +70,8 @@ Task<Status> MultiSuiteTransaction::Commit() {
       co_return gather.status();
     }
     const Version next = gather.value().current + 1;
-    const std::string bytes =
-        VersionedValue{next, *entry.state->pending_write}.Serialize();
+    const SharedPayload bytes(
+        VersionedValue{next, *entry.state->pending_write}.Serialize());
     for (const auto& reply : gather.value().replies) {
       writes[reply.host].push_back(
           WriteIntent(SuiteValueKey(client->config().suite_name), bytes));

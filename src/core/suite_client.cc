@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/common/backoff.h"
 #include "src/common/check.h"
 #include "src/core/txn_state.h"
 #include "src/sim/join.h"
@@ -136,6 +137,9 @@ void SuiteClientStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
                             &refreshes_spawned);
   registry->RegisterCounter("core.suite_client.unavailable", labels, &unavailable);
   registry->RegisterCounter("core.suite_client.conflicts", labels, &conflicts);
+  registry->RegisterCounter("core.suite_client.retries", labels, &retries);
+  registry->RegisterCounter("core.suite_client.commit_bytes_serialized", labels,
+                            &commit_bytes_serialized);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -495,11 +499,14 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
     ++stats_.writes;
 
     const Version next = gather.value().current + 1;
-    const std::string bytes = VersionedValue{next, *state->pending_write}.Serialize();
+    // Serialize the versioned value exactly once per commit; every quorum
+    // member's intent (and every message hop) shares the one buffer.
+    SharedPayload payload(VersionedValue{next, *state->pending_write}.Serialize());
+    stats_.commit_bytes_serialized += payload.size();
 
     std::map<HostId, std::vector<WriteIntent>> writes;
     for (const ProbeReply& r : gather.value().replies) {
-      writes[r.host] = {WriteIntent{SuiteValueKey(config_.suite_name), bytes}};
+      writes[r.host] = {WriteIntent{SuiteValueKey(config_.suite_name), payload}};
     }
     std::set<HostId> release = state->participants;
     release.insert(state->probed.begin(), state->probed.end());
@@ -563,9 +570,9 @@ Task<Result<std::string>> SuiteClient::ReadOnce(int retries) {
         last.code() != StatusCode::kTimeout) {
       co_return last;
     }
-    // Jittered backoff before retrying a conflicted transaction.
-    co_await net_->sim()->Sleep(
-        Duration::Micros(net_->sim()->rng().NextInRange(1000, 20000) * (i + 1)));
+    // Jittered exponential backoff before retrying a conflicted transaction.
+    ++stats_.retries;
+    co_await net_->sim()->Sleep(JitteredBackoff(net_->sim()->rng(), i));
   }
   co_return last;
 }
@@ -586,8 +593,8 @@ Task<Status> SuiteClient::WriteOnce(std::string contents, int retries) {
         last.code() != StatusCode::kTimeout) {
       co_return last;
     }
-    co_await net_->sim()->Sleep(
-        Duration::Micros(net_->sim()->rng().NextInRange(1000, 20000) * (i + 1)));
+    ++stats_.retries;
+    co_await net_->sim()->Sleep(JitteredBackoff(net_->sim()->rng(), i));
   }
   co_return last;
 }
@@ -649,8 +656,10 @@ Task<Status> SuiteClient::Reconfigure(SuiteConfig new_config, int retries) {
                       last.code() != StatusCode::kTimeout)) {
       co_return last;
     }
-    co_await net_->sim()->Sleep(
-        Duration::Micros(net_->sim()->rng().NextInRange(2000, 30000)));
+    ++stats_.retries;
+    co_await net_->sim()->Sleep(JitteredBackoff(
+        net_->sim()->rng(), attempt,
+        BackoffPolicy(Duration::Millis(2), Duration::Millis(400), 2.0)));
   }
   co_return last;
 }
@@ -718,9 +727,10 @@ Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
   }
 
   // Atomically install the new prefix and the (re-versioned) current value
-  // at every target.
-  const std::string prefix_bytes = new_config.Serialize();
-  const std::string value_bytes = VersionedValue{next, contents}.Serialize();
+  // at every target; both serialize once, every target shares the buffers.
+  const SharedPayload prefix_bytes(new_config.Serialize());
+  const SharedPayload value_bytes(VersionedValue{next, contents}.Serialize());
+  stats_.commit_bytes_serialized += prefix_bytes.size() + value_bytes.size();
   std::map<HostId, std::vector<WriteIntent>> writes;
   for (HostId host : targets) {
     writes[host] = {WriteIntent{SuitePrefixKey(config_.suite_name), prefix_bytes},

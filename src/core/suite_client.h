@@ -74,6 +74,10 @@ struct SuiteClientStats {
   uint64_t refreshes_spawned = 0;
   uint64_t unavailable = 0;
   uint64_t conflicts = 0;
+  uint64_t retries = 0;  // one-shot helper attempts after the first
+  uint64_t commit_bytes_serialized = 0;  // versioned-value bytes built by
+                                         // commits (once per commit, however
+                                         // wide the write quorum)
 
   void Reset() { *this = SuiteClientStats{}; }
   // Registers every field as `core.suite_client.*{labels}`; this struct

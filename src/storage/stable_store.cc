@@ -19,6 +19,9 @@ void StableStoreStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("storage.stable_store.reads", labels, &reads);
   registry->RegisterCounter("storage.stable_store.recoveries_from_torn_slot", labels,
                             &recoveries_from_torn_slot);
+  registry->RegisterCounter("storage.group_commit_batches", labels, &group_commit_batches);
+  registry->RegisterCounter("storage.group_commit_writes_coalesced", labels,
+                            &group_commit_coalesced);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -39,45 +42,104 @@ int StableStore::CommittedSlot(const Page& page) {
   return best;
 }
 
-Task<Status> StableStore::Write(std::string key, std::string value) {
-  if (!host_->up()) {
-    co_return AbortedError("host down");
-  }
-  ++stats_.writes_started;
-  const uint64_t epoch = host_->crash_epoch();
+void StableStore::TearTarget(const std::string& key) {
+  Page& page = pages_[key];
+  const int committed = CommittedSlot(page);
+  const int target = (committed == 0) ? 1 : 0;
 
-  int target;
-  uint64_t next_seq;
-  {
-    Page& page = pages_[key];
-    const int committed = CommittedSlot(page);
-    target = (committed == 0) ? 1 : 0;
-    next_seq = (committed >= 0) ? page.slots[committed].seq + 1 : 1;
+  // Tear the target slot for the duration of the disk write: a crash in
+  // this window must not expose partial data. The untorn sibling keeps the
+  // previous committed value readable throughout.
+  Slot& torn = page.slots[target];
+  torn.valid = false;
+  torn.data.clear();
+  torn.checksum = 0;
+}
 
-    // Tear the target slot for the duration of the disk write: a crash in
-    // this window must not expose partial data.
-    Slot& torn = page.slots[target];
-    torn.valid = false;
-    torn.data.clear();
-    torn.checksum = 0;
-  }
+void StableStore::Install(const std::string& key, std::string value) {
+  // Recompute the target at install time: the committed slot is the untorn
+  // sibling, so this lands in exactly the slot TearTarget invalidated.
+  Page& page = pages_[key];
+  const int committed = CommittedSlot(page);
+  const int target = (committed == 0) ? 1 : 0;
+  const uint64_t next_seq = (committed >= 0) ? page.slots[committed].seq + 1 : 1;
 
-  co_await sim_->Sleep(write_latency_.Sample(sim_->rng()));
-
-  if (!host_->up() || host_->crash_epoch() != epoch) {
-    ++stats_.writes_torn;
-    co_return AbortedError("crash during stable write of " + key);
-  }
-
-  // Re-look up after suspension: holding references across co_await is not
-  // safe if the map mutated while this write was in flight.
-  Slot& slot = pages_[key].slots[target];
+  Slot& slot = page.slots[target];
   slot.seq = next_seq;
   slot.data = std::move(value);
   slot.checksum = Fnv1a64(slot.data);
   slot.valid = true;
-  ++stats_.writes_completed;
-  co_return Status::Ok();
+}
+
+Task<Status> StableStore::Write(std::string key, std::string value) {
+  std::vector<std::pair<std::string, std::string>> one;
+  one.emplace_back(std::move(key), std::move(value));
+  return WriteBatch(std::move(one));
+}
+
+Task<Status> StableStore::WriteBatch(
+    std::vector<std::pair<std::string, std::string>> entries) {
+  if (entries.empty()) {
+    co_return Status::Ok();
+  }
+  if (!host_->up()) {
+    co_return AbortedError("host down");
+  }
+  stats_.writes_started += entries.size();
+  const uint64_t epoch = host_->crash_epoch();
+
+  for (const auto& [key, value] : entries) {
+    TearTarget(key);
+  }
+
+  if (current_batch_ != nullptr && current_batch_->open && current_batch_->epoch == epoch) {
+    // A flush window is already open: stage into it and share the leader's
+    // single latency charge. Last staged value per key wins — writers that
+    // raced into one window are adjacent in the serial order, and only the
+    // final state of the window becomes durable.
+    std::shared_ptr<FlushBatch> batch = current_batch_;
+    for (auto& [key, value] : entries) {
+      batch->staged[key] = std::move(value);
+    }
+    stats_.group_commit_coalesced += entries.size();
+    Promise<Status> done(sim_);
+    Future<Status> woken = done.GetFuture();
+    batch->waiters.push_back(std::move(done));
+    co_return co_await std::move(woken);
+  }
+
+  // Leader: open a batch, pay one latency window, then flush everything
+  // that staged into it while the disk was "busy".
+  std::shared_ptr<FlushBatch> batch = std::make_shared<FlushBatch>(epoch);
+  for (auto& [key, value] : entries) {
+    batch->staged[key] = std::move(value);
+  }
+  current_batch_ = batch;
+
+  co_await sim_->Sleep(write_latency_.Sample(sim_->rng()));
+
+  batch->open = false;
+  if (current_batch_ == batch) {
+    current_batch_.reset();
+  }
+
+  Status result = Status::Ok();
+  if (!host_->up() || host_->crash_epoch() != epoch) {
+    // Power failure mid-flush: every staged page stays torn; none was
+    // acknowledged, so losing the whole batch is crash-atomic.
+    stats_.writes_torn += batch->staged.size();
+    result = AbortedError("crash during stable write window");
+  } else {
+    ++stats_.group_commit_batches;
+    for (auto& [key, value] : batch->staged) {
+      Install(key, std::move(value));
+      ++stats_.writes_completed;
+    }
+  }
+  for (Promise<Status>& waiter : batch->waiters) {
+    waiter.Set(result);
+  }
+  co_return result;
 }
 
 Task<Result<std::string>> StableStore::Read(std::string key) {

@@ -16,18 +16,31 @@
 // Disk latency is simulated; a host crash during the latency window leaves
 // the slot torn exactly as a power failure would. Pages survive crashes
 // (they are "on disk"); only in-flight operations abort.
+//
+// Group commit: concurrent Write/WriteBatch calls that land while one disk
+// latency window is already in flight coalesce into that flush — the leader
+// (first writer) samples one latency charge, joiners stage their pages into
+// the open batch and share the leader's wake-up. This is classic log group
+// commit (DeWitt et al. '84): durability cost is paid per flush, not per
+// write, and a crash during the window tears every staged write together
+// (none was reported durable, so losing all of them is crash-atomic). A
+// solitary write behaves exactly as before: one tear, one latency sample,
+// one install.
 
 #ifndef WVOTE_SRC_STORAGE_STABLE_STORE_H_
 #define WVOTE_SRC_STORAGE_STABLE_STORE_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/net/host.h"
 #include "src/obs/metrics.h"
+#include "src/sim/future.h"
 #include "src/sim/latency.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
@@ -36,10 +49,13 @@ namespace wvote {
 
 struct StableStoreStats {
   uint64_t writes_started = 0;
-  uint64_t writes_completed = 0;
+  uint64_t writes_completed = 0;  // pages installed by a successful flush
   uint64_t writes_torn = 0;  // in-flight writes lost to a crash
   uint64_t reads = 0;
   uint64_t recoveries_from_torn_slot = 0;
+  uint64_t group_commit_batches = 0;    // flushes (one latency charge each)
+  uint64_t group_commit_coalesced = 0;  // writes that joined an open flush
+                                        // (latency charges saved)
 
   void Reset() { *this = StableStoreStats{}; }
   // Registers every field as `storage.stable_store.*{labels}`; this struct
@@ -54,7 +70,13 @@ class StableStore {
 
   // Durable, crash-atomic write of a whole page. Returns kAborted if the
   // host crashed while the write was in flight (the old value survives).
+  // Concurrent writes group-commit: see the header comment.
   Task<Status> Write(std::string key, std::string value);
+
+  // Durable write of several pages under ONE latency charge (and, like
+  // Write, joining an already-open flush instead of paying at all). All
+  // pages install together or — on a crash during the window — none do.
+  Task<Status> WriteBatch(std::vector<std::pair<std::string, std::string>> entries);
 
   // Durable read with simulated disk latency. kNotFound if the page was
   // never completely written; kAborted on crash mid-read.
@@ -89,14 +111,31 @@ class StableStore {
     Slot slots[2];
   };
 
+  // One in-flight flush: pages staged while the leader's latency window is
+  // open, plus a wake-up promise per joiner. Shared so the leader can
+  // resolve joiners that outlive `current_batch_` being replaced.
+  struct FlushBatch {
+    explicit FlushBatch(uint64_t e) : epoch(e) {}
+    uint64_t epoch;     // crash epoch the batch was opened in
+    bool open = true;   // accepting joiners until the leader wakes
+    std::map<std::string, std::string> staged;  // key -> last value staged
+    std::vector<Promise<Status>> waiters;       // one per joiner
+  };
+
   // Index of the valid slot with the highest sequence, or -1.
   static int CommittedSlot(const Page& page);
+
+  // Invalidates `key`'s target slot for the duration of a write window.
+  void TearTarget(const std::string& key);
+  // Installs `value` into `key`'s torn slot with the next sequence number.
+  void Install(const std::string& key, std::string value);
 
   Simulator* sim_;
   Host* host_;
   LatencyModel write_latency_;
   LatencyModel read_latency_;
   std::map<std::string, Page> pages_;
+  std::shared_ptr<FlushBatch> current_batch_;
   StableStoreStats stats_;
 };
 

@@ -30,6 +30,10 @@ void CoordinatorStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("txn.coordinator.committed", labels, &committed);
   registry->RegisterCounter("txn.coordinator.aborted", labels, &aborted);
   registry->RegisterCounter("txn.coordinator.inquiries_served", labels, &inquiries_served);
+  registry->RegisterCounter("txn.coordinator.async_phase2_spawned", labels,
+                            &async_phase2_spawned);
+  registry->RegisterCounter("txn.coordinator.async_phase2_completed", labels,
+                            &async_phase2_completed);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -128,13 +132,36 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
     co_return AbortedError("coordinator failed to log decision");
   }
 
-  Status phase2 = co_await SendPhase2(txn, std::move(writers),
-                                      std::move(read_only_participants));
-  if (!phase2.ok()) {
-    co_return phase2;  // only possible if our host crashed
+  if (options_.sync_phase2) {
+    Status phase2 = co_await SendPhase2(txn, std::move(writers),
+                                        std::move(read_only_participants));
+    if (!phase2.ok()) {
+      co_return phase2;  // only possible if our host crashed
+    }
+    ++stats_.committed;
+    co_return Status::Ok();
   }
+
+  // The outcome is decided and durable; nothing the client learns depends
+  // on phase-2 delivery, so fan it out off the critical path. If this host
+  // crashes before any CommitReq lands, the decision record still answers
+  // participant inquiries (their in-doubt watchdogs fire even without a
+  // participant restart), so every prepared branch converges to commit.
+  ++stats_.async_phase2_spawned;
+  Spawn(RunPhase2InBackground(txn, std::move(writers),
+                              std::move(read_only_participants)));
   ++stats_.committed;
   co_return Status::Ok();
+}
+
+Task<void> Coordinator::RunPhase2InBackground(TxnId txn, std::vector<HostId> writers,
+                                              std::vector<HostId> read_only) {
+  Status st = co_await SendPhase2(txn, std::move(writers), std::move(read_only));
+  if (st.ok()) {
+    ++stats_.async_phase2_completed;
+  }
+  // !ok means this host crashed mid-fan-out; participants converge through
+  // the decision record (recovery inquiry or in-doubt watchdog).
 }
 
 Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,

@@ -22,6 +22,16 @@ namespace wvote {
 struct CoordinatorOptions {
   Duration rpc_timeout = Duration::Seconds(5);
   int commit_retries = 3;
+  // When false (the default), CommitTransaction returns success as soon as
+  // the commit decision is durable and phase 2 runs as a background task:
+  // the committed write costs the client two round trips (prepare + the
+  // gather that granted its locks) instead of three. Safe because the
+  // outcome is already decided — the decision record plus the retry /
+  // inquiry machinery delivers it to every participant eventually, crash or
+  // not. Set true to pin the literal synchronous protocol (the analytic
+  // model's 3-RTT closed form); model-validating benches and protocol
+  // tests do.
+  bool sync_phase2 = false;
 };
 
 struct CoordinatorStats {
@@ -29,6 +39,10 @@ struct CoordinatorStats {
   uint64_t committed = 0;
   uint64_t aborted = 0;
   uint64_t inquiries_served = 0;
+  uint64_t async_phase2_spawned = 0;    // phase-2 fan-outs moved off the
+                                        // client's critical path
+  uint64_t async_phase2_completed = 0;  // of those, fan-outs that delivered
+                                        // (or handed off to retriers)
 
   void Reset() { *this = CoordinatorStats{}; }
   // Registers every field as `txn.coordinator.*{labels}`; this struct must
@@ -50,7 +64,9 @@ class Coordinator {
 
   // Drives 2PC: prepare at every writer, durably log the decision, commit.
   // Read-only participants just get their locks released. Returns OK only
-  // after the decision is durable and commit messages are on their way.
+  // after the decision is durable and commit messages are on their way —
+  // with sync_phase2, only after every participant acknowledged (or was
+  // handed to a background retrier).
   Task<Status> CommitTransaction(TxnId txn,
                                  std::map<HostId, std::vector<WriteIntent>> writes,
                                  std::vector<HostId> read_only_participants);
@@ -61,6 +77,11 @@ class Coordinator {
   const CoordinatorStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  // Flips between the asynchronous (2-RTT) and literal synchronous (3-RTT)
+  // commit; benches toggle this per run on an already-deployed cluster.
+  void set_sync_phase2(bool sync) { options_.sync_phase2 = sync; }
+  bool sync_phase2() const { return options_.sync_phase2; }
+
   // Registers this coordinator's counters, labeled by host name.
   void RegisterMetrics(MetricsRegistry* registry);
 
@@ -68,6 +89,9 @@ class Coordinator {
   static std::string DecisionKey(const TxnId& txn);
   Task<Status> SendPhase2(TxnId txn, std::vector<HostId> writers,
                           std::vector<HostId> read_only);
+  // Spawned wrapper around SendPhase2 for the asynchronous commit path.
+  Task<void> RunPhase2InBackground(TxnId txn, std::vector<HostId> writers,
+                                   std::vector<HostId> read_only);
   Task<void> RetryCommitForever(TxnId txn, HostId participant);
 
   RpcEndpoint* rpc_;

@@ -13,7 +13,7 @@ std::string TxnRecord::Serialize() const {
   w.WriteU32(static_cast<uint32_t>(writes.size()));
   for (const WriteIntent& wi : writes) {
     w.WriteString(wi.key);
-    w.WriteString(wi.value);
+    w.WriteString(wi.value.str());
   }
   return w.Take();
 }
@@ -29,7 +29,7 @@ Result<TxnRecord> TxnRecord::Parse(const std::string& bytes) {
   for (uint32_t i = 0; i < n && !r.failed(); ++i) {
     WriteIntent wi;
     wi.key = r.ReadString();
-    wi.value = r.ReadString();
+    wi.value = SharedPayload(r.ReadString());
     rec.writes.push_back(std::move(wi));
   }
   if (r.failed() || !r.AtEnd()) {

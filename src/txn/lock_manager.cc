@@ -14,6 +14,8 @@ void LockManagerStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("txn.lock_manager.timeouts", labels, &timeouts);
   registry->RegisterCounter("txn.lock_manager.upgrades", labels, &upgrades);
   registry->RegisterCounter("txn.lock_manager.leases_expired", labels, &leases_expired);
+  registry->RegisterCounter("txn.lock_manager.waits_on_committing", labels,
+                            &waits_on_committing);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -38,6 +40,38 @@ bool LockManager::Compatible(const Entry& entry, TxnId txn, LockMode mode) {
 void LockManager::SetLeasePolicy(Duration lease, std::function<bool(const TxnId&)> exempt) {
   lease_ = lease;
   lease_exempt_ = std::move(exempt);
+}
+
+void LockManager::SetWaitPolicy(std::function<bool(const TxnId&)> committing) {
+  committing_ = std::move(committing);
+}
+
+bool LockManager::MustDie(const Entry& entry, TxnId txn, LockMode mode) {
+  bool waited_on_committing = false;
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      continue;
+    }
+    const bool conflicts = (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
+    if (!conflicts) {
+      continue;
+    }
+    if (txn.OlderThan(h.txn)) {
+      continue;  // classic wait-die: older requesters may always wait
+    }
+    // Younger than a conflicting holder. A committing holder is guaranteed
+    // to release soon and acquires nothing more (no outgoing wait edges),
+    // so waiting on it cannot deadlock; any other younger-than case dies.
+    if (committing_ && committing_(h.txn)) {
+      waited_on_committing = true;
+      continue;
+    }
+    return true;
+  }
+  if (waited_on_committing) {
+    ++stats_.waits_on_committing;
+  }
+  return false;
 }
 
 void LockManager::MaybeExpireHolders(const std::string& key) {
@@ -96,17 +130,12 @@ Task<Status> LockManager::Acquire(TxnId txn, std::string key, LockMode mode,
     co_return Status::Ok();
   }
 
-  // Wait-die: we may wait only if we are older than every conflicting holder.
-  for (const Holder& h : entry.holders) {
-    if (h.txn == txn) {
-      continue;
-    }
-    const bool conflicts = (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
-    if (conflicts && !txn.OlderThan(h.txn)) {
-      ++stats_.dies;
-      co_return ConflictError("wait-die: " + txn.ToString() + " younger than holder " +
-                              h.txn.ToString() + " on " + key);
-    }
+  // Wait-die: we may wait only if we are older than every conflicting
+  // holder — or the holder is committing (see SetWaitPolicy).
+  if (MustDie(entry, txn, mode)) {
+    ++stats_.dies;
+    co_return ConflictError("wait-die: " + txn.ToString() +
+                            " younger than a conflicting holder on " + key);
   }
 
   Promise<Status> wakeup(sim_);
@@ -165,19 +194,7 @@ void LockManager::WakeWaiters(const std::string& key) {
       // Re-apply the wait-die rule against the CURRENT holders: a waiter
       // that is now younger than a conflicting holder must die, or it could
       // close a deadlock cycle that the admission-time check permitted.
-      bool must_die = false;
-      for (const Holder& h : entry.holders) {
-        if (h.txn == front.txn) {
-          continue;
-        }
-        const bool conflicts =
-            (front.mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
-        if (conflicts && !front.txn.OlderThan(h.txn)) {
-          must_die = true;
-          break;
-        }
-      }
-      if (must_die) {
+      if (MustDie(entry, front.txn, front.mode)) {
         ++stats_.dies;
         front.wakeup.Set(ConflictError("wait-die on regrant: " + front.txn.ToString()));
         entry.waiters.pop_front();

@@ -42,6 +42,8 @@ struct LockManagerStats {
   uint64_t timeouts = 0;  // waiters that gave up
   uint64_t upgrades = 0;  // S -> X upgrades
   uint64_t leases_expired = 0;  // orphaned holders swept by the lease policy
+  uint64_t waits_on_committing = 0;  // wait-die deaths converted to waits by
+                                     // the committing-holder wait policy
 
   void Reset() { *this = LockManagerStats{}; }
   // Registers every field as `txn.lock_manager.*{labels}`; this struct must
@@ -65,6 +67,15 @@ class LockManager {
   // holder granted more than `lease` ago that `exempt` does not protect, the
   // holder's transaction is presumed dead and released. Zero disables.
   void SetLeasePolicy(Duration lease, std::function<bool(const TxnId&)> exempt);
+
+  // Installs the committing-holder wait policy: a younger requester that
+  // wait-die would refuse may instead WAIT (bounded by its timeout) when
+  // `committing` reports every conflicting holder as committing. Safe
+  // because a committing transaction acquires nothing further — it has no
+  // outgoing wait edges, so waiting on it can never close a deadlock cycle.
+  // This keeps back-to-back writes from aborting on the short lock tail the
+  // asynchronous phase-2 commit leaves behind. Unset = classic wait-die.
+  void SetWaitPolicy(std::function<bool(const TxnId&)> committing);
 
   // Lease sweep: releases every lock granted before `now - lease` whose
   // holder `exempt` does not protect (prepared transactions must keep their
@@ -113,10 +124,15 @@ class LockManager {
   // Applies the lease policy to `key`'s holders before a new acquire.
   void MaybeExpireHolders(const std::string& key);
 
+  // True if wait-die must refuse `txn` requesting `mode` against the
+  // current holders of `entry` (applies the committing-holder wait policy).
+  bool MustDie(const Entry& entry, TxnId txn, LockMode mode);
+
   Simulator* sim_;
   std::map<std::string, Entry> table_;
   Duration lease_ = Duration::Zero();
   std::function<bool(const TxnId&)> lease_exempt_;
+  std::function<bool(const TxnId&)> committing_;
   LockManagerStats stats_;
 };
 

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/payload.h"
 #include "src/txn/lock_manager.h"
 #include "src/txn/txn_id.h"
 
@@ -24,13 +25,18 @@ namespace wvote {
 // Empty successful reply.
 struct Ack {};
 
-// A buffered write that Prepare makes durable and Commit applies.
+// A buffered write that Prepare makes durable and Commit applies. The value
+// is a SharedPayload: a commit that fans the same bytes out to a write
+// quorum serializes them once and every intent (and every message hop —
+// the net layer moves std::any bodies, never copies them) shares the
+// buffer. ApproxBytes still charges the full value size per message, so
+// wire accounting is unchanged.
 struct WriteIntent {
   std::string key;
-  std::string value;
+  SharedPayload value;
 
   WriteIntent() = default;
-  WriteIntent(std::string k, std::string v) : key(std::move(k)), value(std::move(v)) {}
+  WriteIntent(std::string k, SharedPayload v) : key(std::move(k)), value(std::move(v)) {}
 };
 
 // Acquire a lock at the participant on behalf of `txn` (strict 2PL: released
@@ -71,8 +77,8 @@ struct PrepareReq {
   size_t ApproxBytes() const {
     size_t n = 64;
     for (const WriteIntent& w : writes) {
-      n += w.key.size() + w.value.size() + 16;
-    }
+      n += w.key.size() + w.value.size() + 16;  // full value size: sharing
+    }                                           // saves copies, not bytes
     return n;
   }
 };

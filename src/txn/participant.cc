@@ -17,6 +17,8 @@ void ParticipantStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("txn.participant.recovered_in_doubt", labels,
                             &recovered_in_doubt);
   registry->RegisterCounter("txn.participant.leases_expired", labels, &leases_expired);
+  registry->RegisterCounter("txn.participant.indoubt_timer_fired", labels,
+                            &indoubt_timer_fired);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -36,12 +38,18 @@ Participant::Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOption
   rpc_->host()->AddCrashListener([this]() {
     locks_.Clear();
     prepared_.clear();
+    committing_.clear();
   });
   rpc_->host()->AddRestartListener([this]() { Spawn(Recover()); });
   // Orphan locks are expired lazily, at the moment a new acquire runs into
   // them; prepared transactions are exempt until their 2PC outcome arrives.
   locks_.SetLeasePolicy(options_.lock_lease,
                         [this](const TxnId& txn) { return prepared_.count(txn) != 0; });
+  // Younger lock requesters may wait on a transaction in its commit tail
+  // (decision known, apply/release imminent) instead of dying: with phase 2
+  // off the client's critical path the previous write's locks are routinely
+  // still draining when the next transaction's probes arrive.
+  locks_.SetWaitPolicy([this](const TxnId& txn) { return committing_.count(txn) != 0; });
 }
 
 void Participant::RegisterHandlers() {
@@ -122,6 +130,9 @@ Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes) {
   }
   prepared_.insert(txn);
   ++stats_.prepares_ok;
+  if (options_.indoubt_resolution_timeout > Duration::Zero()) {
+    Spawn(ResolveIfStillInDoubt(record));
+  }
   if (TraceLog* trace = rpc_->network()->trace()) {
     trace->Record(rpc_->host_id(), TraceKind::kTxnPrepared, txn.ToString());
   }
@@ -136,12 +147,17 @@ Task<Status> Participant::Commit(TxnId txn) {
     locks_.ReleaseAll(txn);
     co_return Status::Ok();
   }
+  // The decision is known from here on: younger lock requesters may queue
+  // behind this transaction's short apply/release tail instead of dying.
+  committing_.insert(txn);
   record.value().state = TxnRecordState::kCommitted;
   Status st = co_await log_.Put(record.value());
   if (!st.ok()) {
+    committing_.erase(txn);
     co_return st;
   }
   st = co_await ApplyCommitted(std::move(record.value()));
+  committing_.erase(txn);
   if (!st.ok()) {
     co_return st;
   }
@@ -171,11 +187,17 @@ Task<Status> Participant::Abort(TxnId txn) {
 }
 
 Task<Status> Participant::ApplyCommitted(TxnRecord record) {
+  // All of the transaction's pages install under one group-committed flush
+  // (one latency charge) — and the batch is all-or-nothing across a crash,
+  // so recovery re-applies from the intact committed record either way.
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(record.writes.size());
   for (const WriteIntent& w : record.writes) {
-    Status st = co_await store_->Write(DataKey(w.key), w.value);
-    if (!st.ok()) {
-      co_return st;  // crash mid-apply; recovery will re-apply
-    }
+    entries.emplace_back(DataKey(w.key), w.value.str());
+  }
+  Status st = co_await store_->WriteBatch(std::move(entries));
+  if (!st.ok()) {
+    co_return st;  // crash mid-apply; recovery will re-apply
   }
   co_return co_await log_.Remove(record.txn);
 }
@@ -204,6 +226,23 @@ Task<void> Participant::Recover() {
     }
     Spawn(ResolveInDoubt(std::move(record)));
   }
+}
+
+Task<void> Participant::ResolveIfStillInDoubt(TxnRecord record) {
+  const uint64_t epoch = rpc_->host()->crash_epoch();
+  co_await rpc_->sim()->Sleep(options_.indoubt_resolution_timeout);
+  if (!rpc_->host()->up() || rpc_->host()->crash_epoch() != epoch) {
+    co_return;  // crashed meanwhile; recovery owns in-doubt resolution now
+  }
+  if (prepared_.count(record.txn) == 0 || committing_.count(record.txn) != 0) {
+    co_return;  // phase 2 arrived (or an abort did): nothing to resolve
+  }
+  // Still prepared and undecided long after prepare succeeded. The usual
+  // cause is a coordinator that crashed after durably logging its decision
+  // but before delivering phase 2 (the client may already hold a success
+  // for this transaction!) — ask instead of waiting for our own restart.
+  ++stats_.indoubt_timer_fired;
+  co_await ResolveInDoubt(std::move(record));
 }
 
 Task<void> Participant::ResolveInDoubt(TxnRecord record) {

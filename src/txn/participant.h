@@ -32,6 +32,8 @@ struct ParticipantStats {
   uint64_t recovered_committed = 0;
   uint64_t recovered_in_doubt = 0;
   uint64_t leases_expired = 0;  // orphaned transactions swept
+  uint64_t indoubt_timer_fired = 0;  // prepared txns resolved by the
+                                     // in-doubt watchdog, not by phase 2
 
   void Reset() { *this = ParticipantStats{}; }
   // Registers every field as `txn.participant.*{labels}`; this struct must
@@ -51,6 +53,14 @@ struct ParticipantOptions {
   // outcome is known. Zero disables the sweeper. Must be much longer than
   // any legitimate transaction.
   Duration lock_lease = Duration::Seconds(60);
+  // How long a prepared transaction may sit undecided before this
+  // participant asks the coordinator itself. With the coordinator's phase 2
+  // running off the client's critical path, the coordinator can crash after
+  // the decision is durable but before any CommitReq lands; this timer
+  // guarantees convergence without waiting for a participant restart. Must
+  // comfortably exceed a healthy phase-2 delivery (one round trip). Zero
+  // disables the timer (in-doubt records then resolve only via recovery).
+  Duration indoubt_resolution_timeout = Duration::Seconds(15);
 };
 
 class Participant {
@@ -85,10 +95,14 @@ class Participant {
   void RegisterHandlers();
   Task<void> Recover();
 
-  // Applies a committed record's intents to the data pages, then GCs it.
+  // Applies a committed record's intents to the data pages (one
+  // group-committed batch), then GCs it.
   Task<Status> ApplyCommitted(TxnRecord record);
   // Resolves one in-doubt prepared record by querying its coordinator.
   Task<void> ResolveInDoubt(TxnRecord record);
+  // Watchdog armed at prepare time: if the transaction is still undecided
+  // after options_.indoubt_resolution_timeout, resolve it by inquiry.
+  Task<void> ResolveIfStillInDoubt(TxnRecord record);
 
   RpcEndpoint* rpc_;
   StableStore* store_;
@@ -98,6 +112,11 @@ class Participant {
   // Transactions currently prepared here (volatile mirror of the durable
   // log); their locks are exempt from lease expiry.
   std::set<TxnId> prepared_;
+  // Transactions whose commit decision has reached this participant and are
+  // in the apply/release tail. Their locks release within a few disk
+  // writes, so the lock manager lets younger requesters wait on them
+  // instead of dying (see LockManager::SetWaitPolicy).
+  std::set<TxnId> committing_;
   ParticipantStats stats_;
 };
 

@@ -1,0 +1,87 @@
+// Jittered exponential backoff: bounds, growth, saturation, and jitter.
+
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/random.h"
+
+namespace wvote {
+namespace {
+
+TEST(BackoffTest, DelayAlwaysWithinBaseAndCap) {
+  Rng rng(7);
+  const BackoffPolicy policy(Duration::Millis(1), Duration::Millis(250), 2.0);
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const Duration d = JitteredBackoff(rng, attempt, policy);
+      EXPECT_GE(d, policy.base) << "attempt " << attempt;
+      EXPECT_LE(d, policy.cap) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(BackoffTest, WindowGrowsMultiplicatively) {
+  // With multiplier 2 the window for attempt k is base * 2^(k+1), so the
+  // maximum observed delay over many trials should roughly double per
+  // attempt until the cap takes over.
+  Rng rng(11);
+  const BackoffPolicy policy(Duration::Millis(1), Duration::Seconds(10), 2.0);
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    Duration max_seen = Duration::Zero();
+    for (int trial = 0; trial < 400; ++trial) {
+      max_seen = std::max(max_seen, JitteredBackoff(rng, attempt, policy));
+    }
+    const int64_t window_us = policy.base.ToMicros() << (attempt + 1);
+    EXPECT_LE(max_seen.ToMicros(), window_us);
+    // 400 uniform draws land near the top of the window with overwhelming
+    // probability.
+    EXPECT_GE(max_seen.ToMicros(), window_us / 2);
+  }
+}
+
+TEST(BackoffTest, LargeAttemptSaturatesAtCapWithoutOverflow) {
+  Rng rng(3);
+  const BackoffPolicy policy(Duration::Millis(1), Duration::Millis(100), 2.0);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Duration d = JitteredBackoff(rng, /*attempt=*/1000, policy);
+    EXPECT_GE(d, policy.base);
+    EXPECT_LE(d, policy.cap);
+  }
+}
+
+TEST(BackoffTest, DelaysAreJittered) {
+  // Two consecutive draws for the same attempt should (essentially always)
+  // differ — a fixed schedule would synchronize competing clients.
+  Rng rng(23);
+  const BackoffPolicy policy(Duration::Millis(1), Duration::Seconds(1), 2.0);
+  std::set<int64_t> distinct;
+  for (int trial = 0; trial < 32; ++trial) {
+    distinct.insert(JitteredBackoff(rng, 5, policy).ToMicros());
+  }
+  EXPECT_GT(distinct.size(), 8u);
+}
+
+TEST(BackoffTest, DegeneratePolicyStillReturnsPositiveDelay) {
+  Rng rng(5);
+  // Cap below base: the base floor wins.
+  const BackoffPolicy policy(Duration::Millis(10), Duration::Millis(1), 2.0);
+  const Duration d = JitteredBackoff(rng, 0, policy);
+  EXPECT_EQ(d, Duration::Millis(10));
+
+  // Zero base: clamped to one microsecond, never zero.
+  const BackoffPolicy zero(Duration::Zero(), Duration::Zero(), 2.0);
+  EXPECT_GE(JitteredBackoff(rng, 0, zero), Duration::Micros(1));
+}
+
+TEST(BackoffTest, DefaultPolicyIsSane) {
+  Rng rng(1);
+  const Duration d = JitteredBackoff(rng, 0);
+  EXPECT_GE(d, Duration::Millis(1));
+  EXPECT_LE(d, Duration::Millis(250));
+}
+
+}  // namespace
+}  // namespace wvote

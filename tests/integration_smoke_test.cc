@@ -49,6 +49,9 @@ TEST_F(SmokeTest, WriteThenRead) {
 
 TEST_F(SmokeTest, WriteInstallsAtAWriteQuorum) {
   ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("payload")).ok());
+  // The client ack precedes phase-2 delivery (async commit); drain the
+  // simulation so the installs land before inspecting replica state.
+  cluster_->sim().RunFor(Duration::Seconds(1));
   int current = 0;
   for (const char* name : {"rep-a", "rep-b", "rep-c"}) {
     Result<VersionedValue> value = cluster_->representative(name)->CurrentValue("alpha");

@@ -20,6 +20,9 @@ class LockLeaseTest : public ::testing::Test {
                                            LatencyModel::Fixed(Duration::Millis(1)));
     ParticipantOptions opts;
     opts.lock_lease = Duration::Seconds(30);
+    // These tests fabricate transactions whose coordinator host does not
+    // exist; the in-doubt watchdog would otherwise inquire at it.
+    opts.indoubt_resolution_timeout = Duration::Zero();
     participant_ = std::make_unique<Participant>(rpc_.get(), store_.get(), opts);
   }
 

@@ -49,15 +49,23 @@ TEST_P(ModelEquivalence, SimulatedLatencyMatchesClosedForm) {
   ASSERT_TRUE(cluster.CreateSuite(config, "contents").ok());
 
   // The closed form models the literal two-phase read (version poll, then
-  // data fetch); the fast-path variant is checked separately below.
+  // data fetch) and the literal three-round-trip write; the fast-path read
+  // and asynchronous-phase-2 write variants are checked separately below.
   SuiteClientOptions client_options;
   client_options.fastpath_reads = false;
   SuiteClient* client = cluster.AddClient("client", config, client_options);
-  SuiteClientOptions fast_options;
-  fast_options.fastpath_reads = true;
-  SuiteClient* fast_client = cluster.AddClient("client-fast", config, fast_options);
+  SuiteClient* fast_client;
+  {
+    SuiteClientOptions fast_options;
+    fast_options.fastpath_reads = true;
+    fast_client = cluster.AddClient("client-fast", config, fast_options);
+  }
+  SuiteClient* async_client = cluster.AddClient("client-async", config, client_options);
+  cluster.coordinator_of("client")->set_sync_phase2(true);
+  cluster.coordinator_of("client-fast")->set_sync_phase2(true);
+  ASSERT_FALSE(cluster.coordinator_of("client-async")->sync_phase2());
   for (size_t i = 0; i < c.rtt_ms.size(); ++i) {
-    for (const char* who : {"client", "client-fast"}) {
+    for (const char* who : {"client", "client-fast", "client-async"}) {
       cluster.net().SetSymmetricLink(
           cluster.net().FindHost(who)->id(),
           cluster.net().FindHost("rep-" + std::to_string(i))->id(),
@@ -92,6 +100,22 @@ TEST_P(ModelEquivalence, SimulatedLatencyMatchesClosedForm) {
   const double fast_ms = (cluster.sim().Now() - t0).ToMillis();
   EXPECT_LE(fast_ms, analysis.ReadLatencyAllUp(false).ToMillis() + disk_slop_ms)
       << "fast-path read slower than the two-phase model";
+
+  // Asynchronous phase-2 write: the commit round trip leaves the critical
+  // path, so the 2-RTT closed form must match.
+  t0 = cluster.sim().Now();
+  ASSERT_TRUE(cluster.RunTask(async_client->WriteOnce("async contents")).ok());
+  const double async_ms = (cluster.sim().Now() - t0).ToMillis();
+  EXPECT_NEAR(async_ms, analysis.WriteLatencyAllUp(/*sync_phase2=*/false).ToMillis(),
+              disk_slop_ms)
+      << "async-phase-2 write latency diverged from the 2-RTT model";
+
+  // The asynchronously committed write is still a real quorum write: once
+  // phase 2 drains, every reader observes it.
+  cluster.sim().RunFor(Duration::Seconds(2));
+  Result<std::string> after = cluster.RunTask(client->ReadOnce());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value(), "async contents");
 }
 
 INSTANTIATE_TEST_SUITE_P(

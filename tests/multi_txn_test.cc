@@ -104,6 +104,8 @@ TEST_F(MultiTxnTest, SharedHostGetsIntentsForBothSuites) {
   ASSERT_TRUE(txn.Write(accounts_client_, "balance=7").ok());
   ASSERT_TRUE(txn.Write(audit_client_, "log: seven").ok());
   ASSERT_TRUE(cluster_->RunTask(txn.Commit()).ok());
+  // Drain the asynchronous phase-2 fan-out before inspecting replica state.
+  cluster_->sim().RunFor(Duration::Seconds(1));
 
   // rep-1 ends up holding both new values (it was in both write quorums or
   // neither; with lowest-latency selection over equal links it is).

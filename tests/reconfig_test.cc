@@ -53,6 +53,9 @@ TEST_F(ReconfigTest, ExpansionCopiesDataToNewMembers) {
   SuiteConfig next = SuiteConfig::MakeUniform(
       "f", {"rep-0", "rep-1", "rep-2", "rep-3", "rep-4"}, 3, 3);
   ASSERT_TRUE(cluster_->RunTask(admin_->Reconfigure(next)).ok());
+  // Phase 2 of the reconfiguration commit is asynchronous; drain it so the
+  // new members have installed their copies before inspection.
+  cluster_->sim().RunFor(Duration::Seconds(1));
 
   for (int i = 3; i < 5; ++i) {
     Result<VersionedValue> v =

@@ -40,6 +40,11 @@ class StableStoreTest : public ::testing::Test {
                                 std::shared_ptr<Result<std::string>> out) {
     *out = co_await store->Read(std::move(key));
   }
+  static Task<void> CaptureWriteBatch(StableStore* store,
+                                      std::vector<std::pair<std::string, std::string>> entries,
+                                      std::shared_ptr<Status> out) {
+    *out = co_await store->WriteBatch(std::move(entries));
+  }
 
   Simulator sim_;
   Network net_;
@@ -160,6 +165,124 @@ TEST_F(StableStoreTest, StatsTrackActivity) {
   EXPECT_EQ(store_.stats().writes_started, 1u);
   EXPECT_EQ(store_.stats().writes_completed, 1u);
   EXPECT_EQ(store_.stats().reads, 1u);
+}
+
+// --- Group commit -----------------------------------------------------------
+
+TEST_F(StableStoreTest, ConcurrentWritesCoalesceIntoOneFlush) {
+  auto s0 = std::make_shared<Status>(InternalError("pending"));
+  auto s1 = std::make_shared<Status>(InternalError("pending"));
+  auto s2 = std::make_shared<Status>(InternalError("pending"));
+  auto s3 = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "a", "va", s0));
+  Spawn(CaptureWrite(&store_, "b", "vb", s1));
+  Spawn(CaptureWrite(&store_, "c", "vc", s2));
+  Spawn(CaptureWrite(&store_, "d", "vd", s3));
+  sim_.Run();
+
+  // All four writes succeed but the disk was charged exactly once.
+  for (const auto& s : {s0, s1, s2, s3}) {
+    EXPECT_TRUE(s->ok()) << s->ToString();
+  }
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(10));
+  EXPECT_EQ(store_.stats().group_commit_batches, 1u);
+  EXPECT_EQ(store_.stats().group_commit_coalesced, 3u);
+  EXPECT_EQ(store_.stats().writes_completed, 4u);
+  EXPECT_EQ(store_.ReadCommitted("a").value(), "va");
+  EXPECT_EQ(store_.ReadCommitted("d").value(), "vd");
+}
+
+TEST_F(StableStoreTest, SequentialWritesDoNotCoalesce) {
+  ASSERT_TRUE(RunWrite("a", "v1").ok());
+  ASSERT_TRUE(RunWrite("b", "v2").ok());
+  EXPECT_EQ(store_.stats().group_commit_batches, 2u);
+  EXPECT_EQ(store_.stats().group_commit_coalesced, 0u);
+}
+
+TEST_F(StableStoreTest, SameKeyCoalescingKeepsLastStagedValue) {
+  auto s0 = std::make_shared<Status>(InternalError("pending"));
+  auto s1 = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "k", "first", s0));
+  Spawn(CaptureWrite(&store_, "k", "second", s1));
+  sim_.Run();
+  EXPECT_TRUE(s0->ok());
+  EXPECT_TRUE(s1->ok());
+  // The racers are adjacent in the serial order; only the final window
+  // state becomes durable.
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "second");
+  EXPECT_EQ(store_.stats().writes_started, 2u);
+  EXPECT_EQ(store_.stats().writes_completed, 1u);
+}
+
+TEST_F(StableStoreTest, JoinerFinishesWithTheLeaderWindow) {
+  auto leader = std::make_shared<Status>(InternalError("pending"));
+  auto joiner = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "a", "va", leader));
+  // Arrive 4ms into the leader's 10ms window: the joiner completes when the
+  // window does (t=10ms), not a full latency later.
+  sim_.Schedule(Duration::Millis(4), [this, joiner] {
+    Spawn(CaptureWrite(&store_, "b", "vb", joiner));
+  });
+  sim_.Run();
+  EXPECT_TRUE(leader->ok());
+  EXPECT_TRUE(joiner->ok());
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(10));
+  EXPECT_EQ(store_.stats().group_commit_batches, 1u);
+  EXPECT_EQ(store_.stats().group_commit_coalesced, 1u);
+}
+
+TEST_F(StableStoreTest, CrashTearsTheWholeBatch) {
+  ASSERT_TRUE(RunWrite("k", "stable").ok());
+
+  auto s0 = std::make_shared<Status>(InternalError("pending"));
+  auto s1 = std::make_shared<Status>(InternalError("pending"));
+  auto s2 = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "k", "torn", s0));
+  Spawn(CaptureWrite(&store_, "fresh-1", "x", s1));
+  Spawn(CaptureWrite(&store_, "fresh-2", "y", s2));
+  sim_.Schedule(Duration::Millis(5), [this] { host_->Crash(); });  // mid-window
+  sim_.Run();
+
+  // Nothing in the batch was acknowledged, so losing all of it is
+  // crash-atomic: every waiter aborts, every staged page stays torn.
+  for (const auto& s : {s0, s1, s2}) {
+    EXPECT_EQ(s->code(), StatusCode::kAborted);
+  }
+  EXPECT_EQ(store_.stats().writes_torn, 3u);
+
+  host_->Restart();
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "stable");
+  EXPECT_FALSE(store_.Contains("fresh-1"));
+  EXPECT_FALSE(store_.Contains("fresh-2"));
+}
+
+TEST_F(StableStoreTest, WriteBatchInstallsAllEntriesWithOneCharge) {
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"x", "1"}, {"y", "2"}, {"z", "3"}};
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWriteBatch(&store_, std::move(entries), status));
+  sim_.Run();
+  EXPECT_TRUE(status->ok());
+  EXPECT_EQ(sim_.Now(), TimePoint() + Duration::Millis(10));
+  EXPECT_EQ(store_.stats().group_commit_batches, 1u);
+  EXPECT_EQ(store_.stats().writes_completed, 3u);
+  EXPECT_EQ(store_.ReadCommitted("x").value(), "1");
+  EXPECT_EQ(store_.ReadCommitted("y").value(), "2");
+  EXPECT_EQ(store_.ReadCommitted("z").value(), "3");
+}
+
+TEST_F(StableStoreTest, CrashDuringWriteBatchLosesAllOrNothing) {
+  ASSERT_TRUE(RunWrite("x", "old").ok());
+  std::vector<std::pair<std::string, std::string>> entries = {
+      {"x", "new"}, {"w", "fresh"}};
+  auto status = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWriteBatch(&store_, std::move(entries), status));
+  sim_.Schedule(Duration::Millis(5), [this] { host_->Crash(); });
+  sim_.Run();
+  EXPECT_EQ(status->code(), StatusCode::kAborted);
+  host_->Restart();
+  EXPECT_EQ(store_.ReadCommitted("x").value(), "old");
+  EXPECT_FALSE(store_.Contains("w"));
 }
 
 }  // namespace

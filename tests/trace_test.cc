@@ -83,6 +83,7 @@ TEST(TraceIntegrationTest, ClusterCapturesProtocolEvents) {
   SuiteClient* client = cluster.AddClient("client", config);
 
   ASSERT_TRUE(cluster.RunTask(client->WriteOnce("y")).ok());
+  cluster.sim().RunFor(Duration::Seconds(1));  // drain the async phase 2
   // The write prepared and committed at two representatives.
   EXPECT_EQ(cluster.trace().CountOf(TraceKind::kTxnPrepared), 2u);
   EXPECT_EQ(cluster.trace().CountOf(TraceKind::kTxnCommitted), 2u);

@@ -39,7 +39,13 @@ class TwoPhaseCommitTest : public ::testing::Test {
     client_store_ = std::make_unique<StableStore>(&sim_, client_host_,
                                                   LatencyModel::Fixed(Duration::Millis(2)),
                                                   LatencyModel::Fixed(Duration::Millis(1)));
-    coordinator_ = std::make_unique<Coordinator>(client_rpc_.get(), client_store_.get());
+    // These tests exercise the literal synchronous protocol (commit
+    // returns only after phase 2); async-phase-2 behavior is covered in
+    // async_commit_test.cc.
+    CoordinatorOptions copts;
+    copts.sync_phase2 = true;
+    coordinator_ =
+        std::make_unique<Coordinator>(client_rpc_.get(), client_store_.get(), copts);
   }
 
   // Locks `key` exclusively at participant `i` on behalf of txn.

@@ -39,6 +39,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
   ClusterOptions copts;
   copts.seed = 7;
   Cluster cluster(copts);
+  MaybeEnableTracing(cluster);
   SuiteConfig config;
   config.suite_name = "avail";
   for (size_t i = 0; i < scheme.votes.size(); ++i) {
@@ -79,6 +80,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
   char tag[96];
   std::snprintf(tag, sizeof(tag), "%s p=%.2f", scheme.name, availability);
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
 
   SimPoint point{0.0, 0.0};
   if (stats.reads_ok + stats.read_failures > 0) {
@@ -97,6 +99,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   const std::vector<VoteScheme> schemes = {
       {"read-one/write-all", {1, 1, 1, 1, 1}, 1, 5},
       {"majority", {1, 1, 1, 1, 1}, 3, 3},
@@ -127,5 +130,6 @@ int main(int argc, char** argv) {
   }
   std::printf("shape check: ROWA reads stay available longest; ROWA writes collapse first;\n"
               "majority balances the two; extra votes on one representative skew both.\n");
+  WriteChromeTrace();
   return 0;
 }

@@ -46,6 +46,7 @@ std::unique_ptr<Cluster> MakeCluster(uint64_t seed, bool voting_servers) {
   copts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   auto cluster = std::make_unique<Cluster>(copts);
+  MaybeEnableTracing(*cluster);
   if (voting_servers) {
     for (int i = 0; i < kNumServers; ++i) {
       cluster->AddRepresentative("srv-" + std::to_string(i));
@@ -76,6 +77,7 @@ SchemeResult RunWorkload(Cluster& cluster, ReplicatedStore* store, double read_f
   char tag[96];
   std::snprintf(tag, sizeof(tag), "%s rf=%.2f", store->SchemeName(), read_fraction);
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
   SchemeResult out;
   out.read_ms = stats.read_latency.Mean().ToMillis();
   out.write_ms = stats.write_latency.Mean().ToMillis();
@@ -129,6 +131,7 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
   ClusterOptions copts;
   copts.seed = seed;
   Cluster cluster(copts);
+  MaybeEnableTracing(cluster);
   std::vector<std::unique_ptr<TimestampServer>> servers;
   std::vector<HostId> replicas;
   for (int i = 0; i < kNumServers; ++i) {
@@ -155,6 +158,7 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   std::printf("E5: schemes compared across the read/write mix\n");
   std::printf("5 replicas, client RTTs {20,40,80,160,320}ms, closed loop, 120s runs\n\n");
   std::printf("%-20s", "scheme");
@@ -212,5 +216,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  WriteChromeTrace();
   return 0;
 }

@@ -20,6 +20,7 @@ using namespace wvote;  // NOLINT: bench brevity
 int main(int argc, char** argv) {
   const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   const int ops = SmokeIters(50);
   std::printf("E1: Gifford's example file suites — analytic vs simulated\n");
   std::printf("(representative availability 0.99 for blocking probabilities)\n\n");
@@ -61,6 +62,7 @@ int main(int argc, char** argv) {
                 reads.Mean().ToMillis(), analysis.WriteLatencyAllUp().ToMillis(),
                 writes.Mean().ToMillis(), analysis.ReadBlockingProbability(),
                 analysis.WriteBlockingProbability());
+    CollectChromeTrace(*dep.cluster, ex.name);
   }
 
   std::printf("\nper-example traffic for %d reads + %d writes:\n", ops, ops);
@@ -78,6 +80,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     ex.client_has_cache ? dep.cluster->cache_of("client")->stats().hits : 0));
     DumpMetrics(dep.cluster->metrics(), metrics_mode, ex.name);
+    CollectChromeTrace(*dep.cluster, ex.name + "-traffic");
   }
+  WriteChromeTrace();
   return 0;
 }

@@ -63,6 +63,7 @@ void PrintStrategyTable(int ops) {
                 static_cast<double>(net.messages_sent) / (2.0 * ops),
                 static_cast<unsigned long long>(dep.client->stats().probes_sent));
     DumpMetrics(dep.cluster->metrics(), g_metrics, QuorumStrategyName(strategy));
+    CollectChromeTrace(*dep.cluster, QuorumStrategyName(strategy));
   }
   std::printf("\nshape check: lowest-latency wins time, fewest-messages wins probe count,\n"
               "broadcast pays the most messages for the most failure tolerance.\n\n");
@@ -109,8 +110,10 @@ BENCHMARK(BM_PlanFewestMessages)->Arg(3)->Arg(7)->Arg(15)->Arg(31);
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   PrintStrategyTable(SmokeIters(40));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  WriteChromeTrace();
   return 0;
 }

@@ -39,6 +39,7 @@ GiffordExample MakeSpectrumSuite(int r, int w, double availability) {
 int main(int argc, char** argv) {
   const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   const int ops = SmokeIters(30);
   constexpr double kAvailability = 0.99;
   std::printf("E2: read/write latency and availability across the (r, w) spectrum\n");
@@ -79,7 +80,9 @@ int main(int argc, char** argv) {
       char tag[32];
       std::snprintf(tag, sizeof(tag), "r=%d w=%d", r, w);
       DumpMetrics(dep.cluster->metrics(), metrics_mode, tag);
+      CollectChromeTrace(*dep.cluster, tag);
     }
   }
+  WriteChromeTrace();
   return 0;
 }

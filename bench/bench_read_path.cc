@@ -129,6 +129,7 @@ RunResult RunWorkload(bool fastpath, bool faulty, const char* tag) {
   out.hit_rate = decided == 0 ? 0.0 : static_cast<double>(stats.fastpath_hits) / decided;
   out.plan_builds = stats.plan_builds;
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
   return out;
 }
 
@@ -154,6 +155,7 @@ void PrintScenario(const char* name, bool faulty) {
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   g_reads = SmokeIters(g_reads, /*tiny=*/20);
   std::printf("E10: fast-path reads — piggybacked data on version probes\n");
   std::printf("(4 reps, votes 2,1,1,1, r=2, w=4; %d reads per run, 10:1 read:write)\n\n",
@@ -169,5 +171,6 @@ int main(int argc, char** argv) {
       "run keeps every read current, paying the explicit fetch only when the\n"
       "piggyback target is down or stale. plan builds count post-warmup rebuilds:\n"
       "0 means the quorum plan cached at the seeding write served every operation.\n");
+  WriteChromeTrace();
   return 0;
 }

@@ -16,11 +16,13 @@ using namespace wvote;  // NOLINT: bench brevity
 int main(int argc, char** argv) {
   const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   std::printf("E7: reconfiguration under load\n\n");
 
   ClusterOptions copts;
   copts.seed = 17;
   Cluster cluster(copts);
+  MaybeEnableTracing(cluster);
   for (int i = 0; i < 5; ++i) {
     cluster.AddRepresentative("srv-" + std::to_string(i));
   }
@@ -94,5 +96,7 @@ int main(int argc, char** argv) {
   std::printf("shape check: reconfigurations cost a few write-latencies, the invalid tuning\n"
               "is rejected by validation, and the workload keeps running throughout.\n");
   DumpMetrics(cluster.metrics(), metrics_mode, "reconfig");
+  CollectChromeTrace(cluster, "reconfig");
+  WriteChromeTrace();
   return 0;
 }

@@ -34,6 +34,7 @@ RefreshRow RunOne(bool refresh_on) {
   copts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(copts);
+  MaybeEnableTracing(cluster);
   for (const char* s : {"srv-a", "srv-b", "srv-c"}) {
     cluster.AddRepresentative(s);
   }
@@ -97,6 +98,7 @@ RefreshRow RunOne(bool refresh_on) {
   row.stale_fetches = reader_stats.reads_ok > b_reads ? reader_stats.reads_ok - b_reads : 0;
   row.bytes = cluster.net().stats().bytes_sent;
   DumpMetrics(cluster.metrics(), g_metrics, refresh_on ? "refresh=on" : "refresh=off");
+  CollectChromeTrace(cluster, refresh_on ? "refresh=on" : "refresh=off");
   return row;
 }
 
@@ -105,6 +107,7 @@ RefreshRow RunOne(bool refresh_on) {
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   std::printf("E9: background refresh ablation\n");
   std::printf("writer installs at {a,c}; reader's local rep b is stale unless refreshed\n");
   std::printf("reader RTTs: a=500ms b=20ms c=120ms; 16KiB file; ~1 write / 20 reads\n\n");
@@ -120,5 +123,6 @@ int main(int argc, char** argv) {
   std::printf("\nshape check: with refresh on, srv-b is re-freshened after each update and\n"
               "the reader fetches locally (20ms); with it off every post-update read drags\n"
               "contents from srv-c (120ms), costing latency and wide-area bytes.\n");
+  WriteChromeTrace();
   return 0;
 }

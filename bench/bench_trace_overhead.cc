@@ -1,0 +1,111 @@
+// Trace-overhead guard — the disabled tracer must stay one branch.
+//
+// Every RPC send, handler, lock acquisition, and disk write in the hot path
+// now calls into the Tracer. The design contract (DESIGN.md §11) is that
+// with tracing disabled those calls cost a single predicted branch: no
+// allocation, no map insert, no string construction. This bench enforces
+// that contract two ways:
+//
+//   1. A hard guard (runs under --smoke, so `ctest -L bench-smoke` fails if
+//      someone accidentally moves allocation onto the disabled path): the
+//      measured wall-clock cost of a disabled StartRoot/End pair must stay
+//      under a deliberately generous bound. The bound is ~100x the expected
+//      cost so scheduler noise and sanitizer builds never trip it, while a
+//      stray std::string or map operation (hundreds of ns) still does.
+//   2. google-benchmark loops reporting the real ns/op for the disabled and
+//      enabled span lifecycle, for humans watching the trend.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/sim/simulator.h"
+#include "src/trace/span.h"
+
+using namespace wvote;  // NOLINT: bench brevity
+
+namespace {
+
+// Wall-clock ns per disabled StartRoot/End pair, averaged over `iters`.
+double MeasureDisabledNsPerOp(int iters) {
+  Simulator sim(1);
+  Tracer tracer(&sim);  // disabled by default
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    TraceContext ctx = tracer.StartRoot(/*host=*/0, "client.write");
+    benchmark::DoNotOptimize(ctx);
+    tracer.End(ctx);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         iters;
+}
+
+void RunGuard() {
+  // Warm once so the first-touch page faults don't bill to the measurement.
+  MeasureDisabledNsPerOp(10000);
+  const int iters = g_bench_smoke ? 200000 : 2000000;
+  // Best of three trials: the guard asks "CAN this be cheap", so transient
+  // scheduler preemption in one trial must not fail the build.
+  double best = MeasureDisabledNsPerOp(iters);
+  for (int trial = 0; trial < 2; ++trial) {
+    const double ns = MeasureDisabledNsPerOp(iters);
+    best = ns < best ? ns : best;
+  }
+  std::printf("trace-overhead guard: disabled StartRoot/End = %.2f ns/op (bound 200)\n",
+              best);
+  WVOTE_CHECK_MSG(best < 200.0,
+                  "disabled-tracing span cost exceeds bound: the disabled path "
+                  "must be one branch (no allocation, no map insert)");
+}
+
+void BM_SpanDisabled(benchmark::State& state) {
+  Simulator sim(1);
+  Tracer tracer(&sim);
+  for (auto _ : state) {
+    TraceContext ctx = tracer.StartRoot(0, "client.write");
+    benchmark::DoNotOptimize(ctx);
+    tracer.End(ctx);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  Simulator sim(1);
+  Tracer tracer(&sim);
+  tracer.Enable(true);
+  for (auto _ : state) {
+    TraceContext ctx = tracer.StartRoot(0, "client.write");
+    benchmark::DoNotOptimize(ctx);
+    tracer.End(ctx);
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_SpanTreeEnabled(benchmark::State& state) {
+  // Root + child + annotation: the per-operation shape the write path emits.
+  Simulator sim(1);
+  Tracer tracer(&sim);
+  tracer.Enable(true);
+  for (auto _ : state) {
+    TraceContext root = tracer.StartRoot(0, "client.write");
+    TraceContext phase = tracer.StartChild(root, 0, "phase.prepare");
+    tracer.Annotate(phase, "votes=3/3");
+    tracer.End(phase);
+    tracer.End(root);
+  }
+}
+BENCHMARK(BM_SpanTreeEnabled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_bench_smoke = ParseSmoke(argc, argv);
+  RunGuard();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

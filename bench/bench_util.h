@@ -38,6 +38,62 @@ inline MetricsMode ParseMetricsMode(int argc, char** argv) {
   return mode;
 }
 
+// --trace=FILE support: every bench accepts the flag and exports a
+// Chrome-trace-event JSON file (chrome://tracing, Perfetto) covering every
+// scenario it ran. With the flag present, clusters deploy with the causal
+// tracer enabled; each scenario drains its spans into one shared
+// traceEvents array (tagged, distinct pid ranges) before tearing its
+// cluster down, and main() writes the file once at exit.
+struct ChromeTraceState {
+  std::string path;       // empty = flag absent, tracing stays disabled
+  std::string events;     // accumulated traceEvents bodies
+  bool first = true;
+  int next_pid_base = 0;  // keeps per-cluster host pids disjoint
+
+  bool active() const { return !path.empty(); }
+};
+inline ChromeTraceState g_chrome_trace;
+
+inline void ParseTraceFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      g_chrome_trace.path = argv[i] + 8;
+    }
+  }
+}
+
+// Call right after constructing a cluster whose traffic should be traced.
+inline void MaybeEnableTracing(Cluster& cluster) {
+  if (g_chrome_trace.active()) {
+    cluster.tracer().Enable(true);
+  }
+}
+
+// Call once per cluster before it is destroyed; `tag` labels its processes
+// in the exported file (e.g. the scenario name).
+inline void CollectChromeTrace(Cluster& cluster, const std::string& tag) {
+  if (!g_chrome_trace.active()) {
+    return;
+  }
+  g_chrome_trace.next_pid_base = cluster.tracer().AppendChromeEvents(
+                                     &g_chrome_trace.events, &g_chrome_trace.first,
+                                     g_chrome_trace.next_pid_base, tag) +
+                                 1;
+}
+
+// Call once at the end of main(); writes the collected trace if --trace was
+// given.
+inline void WriteChromeTrace() {
+  if (!g_chrome_trace.active()) {
+    return;
+  }
+  std::FILE* f = std::fopen(g_chrome_trace.path.c_str(), "w");
+  WVOTE_CHECK_MSG(f != nullptr, "cannot open --trace output file");
+  std::fprintf(f, "{\"traceEvents\":[\n%s\n]}\n", g_chrome_trace.events.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "wrote Chrome trace to %s\n", g_chrome_trace.path.c_str());
+}
+
 // --smoke support: the bench-smoke ctest label runs every experiment binary
 // end-to-end with shrunk iteration counts and run lengths, so a broken bench
 // fails CI in seconds instead of rotting until the next full run. Each bench
@@ -96,6 +152,7 @@ inline ExampleDeployment DeployExample(const GiffordExample& ex,
   opts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
   opts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   out.cluster = std::make_unique<Cluster>(opts);
+  MaybeEnableTracing(*out.cluster);
   for (const RepresentativeInfo& rep : ex.config.representatives) {
     if (!rep.weak()) {
       out.cluster->AddRepresentative(rep.host_name);

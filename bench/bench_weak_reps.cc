@@ -30,6 +30,7 @@ Row RunOne(double write_fraction, bool with_cache) {
   copts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(copts);
+  MaybeEnableTracing(cluster);
   cluster.AddRepresentative("server");
 
   SuiteConfig config;
@@ -93,6 +94,7 @@ Row RunOne(double write_fraction, bool with_cache) {
   std::snprintf(tag, sizeof(tag), "wf=%.2f cache=%s", write_fraction,
                 with_cache ? "on" : "off");
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
   return row;
 }
 
@@ -101,6 +103,7 @@ Row RunOne(double write_fraction, bool with_cache) {
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   std::printf("E4: weak representative (client-side cache) under increasing update rate\n");
   std::printf("64KiB file, reader 150ms RTT from the voting representative\n\n");
   std::printf("%-22s | %-34s | %-34s\n", "", "without weak rep", "with weak rep");
@@ -118,5 +121,6 @@ int main(int argc, char** argv) {
   }
   std::printf("\nshape check: at low update rates the cache halves read latency and slashes\n"
               "bytes moved; as updates dominate, hit rate decays and the curves converge.\n");
+  WriteChromeTrace();
   return 0;
 }

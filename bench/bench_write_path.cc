@@ -94,6 +94,7 @@ LatencyHistogram SteadyWrites(bool sync_phase2, bool drain, const char* tag) {
     }
   }
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
   return hist;
 }
 
@@ -157,6 +158,7 @@ void CrashScenario() {
       static_cast<unsigned long long>(
           snap.SumCounters("storage.group_commit_writes_coalesced")));
   DumpMetrics(cluster.metrics(), g_metrics, "crash-phase2");
+  CollectChromeTrace(cluster, "crash-phase2");
 }
 
 // --- group commit burst ----------------------------------------------------
@@ -177,6 +179,7 @@ void GroupCommitBurst() {
   opts.rep_options.disk_write_latency = LatencyModel::Fixed(Duration::Micros(500));
   opts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(opts);
+  MaybeEnableTracing(cluster);
   const int votes[] = {2, 1, 1, 1};
   const Duration rtt[] = {Duration::Millis(10), Duration::Millis(30), Duration::Millis(60),
                           Duration::Millis(120)};
@@ -223,6 +226,7 @@ void GroupCommitBurst() {
       static_cast<unsigned long long>(
           delta.SumCounters("storage.group_commit_writes_coalesced")));
   DumpMetrics(cluster.metrics(), g_metrics, "group-commit-burst");
+  CollectChromeTrace(cluster, "group-commit-burst");
 }
 
 // --- mixed -----------------------------------------------------------------
@@ -254,6 +258,7 @@ MixedResult MixedWorkload(bool sync_phase2, const char* tag) {
   }
   out.elapsed = cluster.sim().Now() - start;
   DumpMetrics(cluster.metrics(), g_metrics, tag);
+  CollectChromeTrace(cluster, tag);
   return out;
 }
 
@@ -267,6 +272,7 @@ void PrintWriteRow(const char* label, const LatencyHistogram& hist, double model
 int main(int argc, char** argv) {
   g_metrics = ParseMetricsMode(argc, argv);
   g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
   g_steady_writes = SmokeIters(g_steady_writes, /*tiny=*/10);
   g_crash_writes = SmokeIters(g_crash_writes, /*tiny=*/8);
   g_mixed_pairs = SmokeIters(g_mixed_pairs, /*tiny=*/10);
@@ -320,5 +326,6 @@ int main(int argc, char** argv) {
       "write survives arbitrary crash points between the durable decision and\n"
       "phase-2 delivery.\n",
       sync_ms - async_ms);
+  WriteChromeTrace();
   return 0;
 }

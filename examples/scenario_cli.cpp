@@ -56,6 +56,7 @@ struct Args {
   QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
   bool metrics = false;
   bool metrics_json = false;
+  std::string trace_path;           // --trace=FILE: Chrome-trace JSON export
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -102,6 +103,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown strategy %s\n", s.c_str());
         return false;
       }
+    } else if (std::strncmp(flag.c_str(), "--trace=", 8) == 0) {
+      args->trace_path = flag.substr(8);
     } else if (flag == "--metrics" || flag == "--metrics=text") {
       args->metrics = true;
     } else if (flag == "--metrics=json") {
@@ -130,7 +133,7 @@ int main(int argc, char** argv) {
                  "          [--latency-ms l1,l2,..] [--read-fraction F] [--clients C]\n"
                  "          [--seconds S] [--value-bytes B] [--availability P]\n"
                  "          [--seed X] [--strategy lowest|fewest|broadcast]\n"
-                 "          [--metrics[=json]]\n",
+                 "          [--metrics[=json]] [--trace=FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -138,6 +141,9 @@ int main(int argc, char** argv) {
   ClusterOptions copts;
   copts.seed = args.seed;
   Cluster cluster(copts);
+  if (!args.trace_path.empty()) {
+    cluster.tracer().Enable(true);
+  }
 
   SuiteConfig config;
   config.suite_name = "cli";
@@ -224,6 +230,13 @@ int main(int argc, char** argv) {
       std::printf("\n=== metrics ===\n%s=== end metrics ===\n",
                   cluster.metrics().ExportText().c_str());
     }
+  }
+  if (!args.trace_path.empty()) {
+    std::FILE* f = std::fopen(args.trace_path.c_str(), "w");
+    WVOTE_CHECK_MSG(f != nullptr, "cannot open --trace output file");
+    std::fprintf(f, "%s\n", cluster.tracer().ExportChromeTrace().c_str());
+    std::fclose(f);
+    std::fprintf(stderr, "wrote Chrome trace to %s\n", args.trace_path.c_str());
   }
   return 0;
 }

@@ -5,9 +5,20 @@
 namespace wvote {
 
 Cluster::Cluster(ClusterOptions options)
-    : options_(options), sim_(options.seed), trace_(&sim_), net_(&sim_) {
+    : options_(options), sim_(options.seed), trace_(&sim_), tracer_(&sim_), net_(&sim_) {
   net_.SetDefaultLink(options_.default_link);
   net_.SetTraceLog(&trace_);
+  // Before any host is added: every component picks the tracer up from the
+  // network at construction time.
+  net_.SetTracer(&tracer_);
+  tracer_.RegisterMetrics(&metrics_);
+  if (options_.slow_op_threshold > Duration::Zero()) {
+    tracer_.SetSlowOpLog(&trace_, options_.slow_op_threshold);
+  }
+  tracer_.SetHostNamer([this](HostId id) {
+    Host* host = net_.host(id);
+    return host != nullptr ? host->name() : std::to_string(id);
+  });
   net_.RegisterMetrics(&metrics_);
 }
 
@@ -33,6 +44,9 @@ SuiteClient* Cluster::AddClient(const std::string& host_name, const SuiteConfig&
                                       options_.rep_options.disk_read_latency);
     stack.coordinator = std::make_unique<Coordinator>(stack.rpc.get(), stack.store.get(),
                                                       options_.coordinator_options);
+    // The coordinator's decision log writes to this store; without the
+    // tracer its phase.disk spans would silently vanish.
+    stack.store->SetTracer(&tracer_);
     stack.rpc->RegisterMetrics(&metrics_);
     stack.store->RegisterMetrics(&metrics_);
     stack.coordinator->RegisterMetrics(&metrics_);

@@ -21,6 +21,7 @@
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
+#include "src/trace/span.h"
 #include "src/trace/trace.h"
 
 namespace wvote {
@@ -32,6 +33,9 @@ struct ClusterOptions {
   // Applied to every client host's 2PC coordinator (e.g. sync_phase2 for
   // runs that must execute the literal 3-RTT commit).
   CoordinatorOptions coordinator_options;
+  // Root spans outliving this dump their whole span tree into the TraceLog
+  // (TraceKind::kSlowOp). Zero disables the slow-op log.
+  Duration slow_op_threshold = Duration::Zero();
 };
 
 class Cluster {
@@ -41,6 +45,11 @@ class Cluster {
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
   TraceLog& trace() { return trace_; }
+
+  // The cluster-wide causal tracer. Disabled by default (one branch per
+  // span site); flip with tracer().Enable(true) before the traffic of
+  // interest, then Snapshot()/ExportChromeTrace() afterwards.
+  Tracer& tracer() { return tracer_; }
 
   // The cluster-wide metrics registry. Every component added through this
   // cluster (network, representatives, client stacks) registers its stats
@@ -109,6 +118,9 @@ class Cluster {
   MetricsRegistry metrics_;
   Simulator sim_;
   TraceLog trace_;
+  // Declared before net_: the network (and every component reached through
+  // it) holds a raw pointer to the tracer.
+  Tracer tracer_;
   Network net_;
   std::map<std::string, std::unique_ptr<RepresentativeServer>> reps_;
   std::map<std::string, ClientStack> clients_;

@@ -36,6 +36,7 @@ struct TxnVersionReq {
   TxnVersionReq() = default;
   TxnVersionReq(TxnId t, std::string s, bool w = false)
       : txn(t), suite(std::move(s)), want_data(w) {}
+  static constexpr const char* kRpcName = "TxnVersionReq";
 };
 
 // X-lock the suite at this representative and report its version number
@@ -46,6 +47,7 @@ struct LockVersionReq {
 
   LockVersionReq() = default;
   LockVersionReq(TxnId t, std::string s) : txn(t), suite(std::move(s)) {}
+  static constexpr const char* kRpcName = "LockVersionReq";
 };
 
 // Lock-free committed version number; used by weak representatives checking
@@ -56,6 +58,7 @@ struct VersionInquiryReq {
 
   VersionInquiryReq() = default;
   explicit VersionInquiryReq(std::string s) : suite(std::move(s)) {}
+  static constexpr const char* kRpcName = "VersionInquiryReq";
 };
 
 struct VersionResp {
@@ -82,6 +85,7 @@ struct TxnReadSuiteReq {
 
   TxnReadSuiteReq() = default;
   TxnReadSuiteReq(TxnId t, std::string s) : txn(t), suite(std::move(s)) {}
+  static constexpr const char* kRpcName = "TxnReadSuiteReq";
 };
 struct SuiteReadResp {
   Version version = 0;
@@ -98,6 +102,7 @@ struct PrefixReadReq {
 
   PrefixReadReq() = default;
   explicit PrefixReadReq(std::string s) : suite(std::move(s)) {}
+  static constexpr const char* kRpcName = "PrefixReadReq";
 };
 struct PrefixReadResp {
   std::string config_bytes;
@@ -118,6 +123,7 @@ struct BootstrapSuiteReq {
   BootstrapSuiteReq() = default;
   BootstrapSuiteReq(std::string cfg, std::string init)
       : config_bytes(std::move(cfg)), initial_bytes(std::move(init)) {}
+  static constexpr const char* kRpcName = "BootstrapSuiteReq";
   size_t ApproxBytes() const { return 64 + config_bytes.size() + initial_bytes.size(); }
 };
 struct BootstrapSuiteResp {
@@ -135,6 +141,7 @@ struct StaleReadReq {
 
   StaleReadReq() = default;
   explicit StaleReadReq(std::string s) : suite(std::move(s)) {}
+  static constexpr const char* kRpcName = "StaleReadReq";
 };
 
 // Install {version, contents} iff it is newer than the stored copy. Used by
@@ -148,6 +155,7 @@ struct RefreshReq {
   RefreshReq() = default;
   RefreshReq(std::string s, Version v, std::string c)
       : suite(std::move(s)), version(v), contents(std::move(c)) {}
+  static constexpr const char* kRpcName = "RefreshReq";
   size_t ApproxBytes() const { return 64 + contents.size(); }
 };
 struct RefreshResp {

@@ -26,10 +26,21 @@ MultiSuiteTransaction::~MultiSuiteTransaction() {
 MultiSuiteTransaction::SuiteEntry& MultiSuiteTransaction::EntryFor(SuiteClient* suite) {
   SuiteEntry& entry = entries_[suite];
   if (!entry.state) {
+    if (!trace_opened_) {
+      trace_opened_ = true;
+      tracer_ = suite->net_->tracer();
+      if (tracer_ != nullptr) {
+        trace_ = tracer_->StartRoot(suite->rpc_->host_id(), "client.multi");
+        if (trace_.valid()) {
+          tracer_->Annotate(trace_, "txn=" + txn_.ToString());
+        }
+      }
+    }
     entry.client = suite;
     entry.state = std::make_shared<SuiteTransaction::State>();
     entry.state->client = suite;
     entry.state->txn = txn_;  // the SAME transaction everywhere
+    entry.state->trace = trace_;  // ... and the same span tree
   }
   return entry;
 }
@@ -93,8 +104,12 @@ Task<Status> MultiSuiteTransaction::Commit() {
   }
 
   finished_ = true;
-  co_return co_await coordinator_->CommitTransaction(txn_, std::move(writes),
-                                                     std::move(read_only));
+  Status st = co_await coordinator_->CommitTransaction(txn_, std::move(writes),
+                                                       std::move(read_only), trace_);
+  if (tracer_ != nullptr) {
+    tracer_->EndWith(trace_, st.ok() ? "committed" : st.ToString());
+  }
+  co_return st;
 }
 
 Task<void> MultiSuiteTransaction::Abort() {
@@ -109,7 +124,10 @@ Task<void> MultiSuiteTransaction::Abort() {
     entry.state->finished = true;
   }
   std::vector<HostId> targets(release.begin(), release.end());
-  co_await coordinator_->AbortTransaction(txn_, std::move(targets));
+  co_await coordinator_->AbortTransaction(txn_, std::move(targets), trace_);
+  if (tracer_ != nullptr) {
+    tracer_->EndWith(trace_, "aborted");
+  }
 }
 
 }  // namespace wvote

@@ -60,6 +60,12 @@ class MultiSuiteTransaction {
   TxnId txn_;
   bool finished_ = false;
   std::map<SuiteClient*, SuiteEntry> entries_;
+  // Root span for the whole cross-suite transaction; every suite's phase
+  // spans parent here. Opened lazily at the first suite touch (the
+  // constructor has no Network to ask for the tracer).
+  bool trace_opened_ = false;
+  Tracer* tracer_ = nullptr;
+  TraceContext trace_;
 };
 
 }  // namespace wvote

@@ -10,6 +10,9 @@ RepresentativeServer::RepresentativeServer(Network* net, Host* host,
       rpc_(net, host),
       store_(net->sim(), host, options.disk_write_latency, options.disk_read_latency),
       participant_(&rpc_, &store_, options.participant) {
+  // Wired before hosts are populated (Cluster ctor); manual fixtures
+  // without a tracer get the null no-op.
+  store_.SetTracer(net->tracer());
   RegisterHandlers();
 }
 
@@ -82,11 +85,11 @@ VersionResp RepresentativeServer::MakeVersionResp(const std::string& suite) {
 }
 
 void RepresentativeServer::RegisterHandlers() {
-  rpc_.Handle<TxnVersionReq, VersionResp>(
-      [this](HostId from, TxnVersionReq req) -> Task<Result<VersionResp>> {
+  rpc_.HandleTraced<TxnVersionReq, VersionResp>(
+      [this](HostId from, TxnVersionReq req, TraceContext ctx) -> Task<Result<VersionResp>> {
         ++stats_.version_polls;
         Status st = co_await participant_.Lock(req.txn, SuiteValueKey(req.suite),
-                                               LockMode::kShared);
+                                               LockMode::kShared, ctx);
         if (!st.ok()) {
           co_return st;
         }
@@ -97,7 +100,7 @@ void RepresentativeServer::RegisterHandlers() {
           // trip). Failure to attach data is not an error — the client
           // falls back to an explicit fetch.
           Result<std::string> bytes =
-              co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite));
+              co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite), ctx);
           if (bytes.ok()) {
             Result<VersionedValue> value = VersionedValue::Parse(bytes.value());
             if (value.ok()) {
@@ -113,11 +116,11 @@ void RepresentativeServer::RegisterHandlers() {
         co_return resp;
       });
 
-  rpc_.Handle<LockVersionReq, VersionResp>(
-      [this](HostId from, LockVersionReq req) -> Task<Result<VersionResp>> {
+  rpc_.HandleTraced<LockVersionReq, VersionResp>(
+      [this](HostId from, LockVersionReq req, TraceContext ctx) -> Task<Result<VersionResp>> {
         ++stats_.version_polls;
         Status st = co_await participant_.Lock(req.txn, SuiteValueKey(req.suite),
-                                               LockMode::kExclusive);
+                                               LockMode::kExclusive, ctx);
         if (!st.ok()) {
           co_return st;
         }
@@ -130,11 +133,11 @@ void RepresentativeServer::RegisterHandlers() {
         co_return MakeVersionResp(req.suite);
       });
 
-  rpc_.Handle<TxnReadSuiteReq, SuiteReadResp>(
-      [this](HostId from, TxnReadSuiteReq req) -> Task<Result<SuiteReadResp>> {
+  rpc_.HandleTraced<TxnReadSuiteReq, SuiteReadResp>(
+      [this](HostId from, TxnReadSuiteReq req, TraceContext ctx) -> Task<Result<SuiteReadResp>> {
         ++stats_.data_reads;
         Result<std::string> bytes =
-            co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite));
+            co_await participant_.TxnRead(req.txn, SuiteValueKey(req.suite), ctx);
         if (!bytes.ok()) {
           co_return bytes.status();
         }
@@ -168,11 +171,11 @@ void RepresentativeServer::RegisterHandlers() {
         co_return BootstrapSuiteResp{true};
       });
 
-  rpc_.Handle<StaleReadReq, SuiteReadResp>(
-      [this](HostId from, StaleReadReq req) -> Task<Result<SuiteReadResp>> {
+  rpc_.HandleTraced<StaleReadReq, SuiteReadResp>(
+      [this](HostId from, StaleReadReq req, TraceContext ctx) -> Task<Result<SuiteReadResp>> {
         ++stats_.data_reads;
         Result<std::string> bytes =
-            co_await store_.Read(Participant::DataKey(SuiteValueKey(req.suite)));
+            co_await store_.Read(Participant::DataKey(SuiteValueKey(req.suite)), ctx);
         if (!bytes.ok()) {
           co_return bytes.status();
         }
@@ -183,18 +186,18 @@ void RepresentativeServer::RegisterHandlers() {
         co_return SuiteReadResp{value.value().version, std::move(value.value().contents)};
       });
 
-  rpc_.Handle<PrefixReadReq, PrefixReadResp>(
-      [this](HostId from, PrefixReadReq req) -> Task<Result<PrefixReadResp>> {
+  rpc_.HandleTraced<PrefixReadReq, PrefixReadResp>(
+      [this](HostId from, PrefixReadReq req, TraceContext ctx) -> Task<Result<PrefixReadResp>> {
         Result<std::string> bytes =
-            co_await store_.Read(Participant::DataKey(SuitePrefixKey(req.suite)));
+            co_await store_.Read(Participant::DataKey(SuitePrefixKey(req.suite)), ctx);
         if (!bytes.ok()) {
           co_return bytes.status();
         }
         co_return PrefixReadResp{std::move(bytes.value())};
       });
 
-  rpc_.Handle<RefreshReq, RefreshResp>(
-      [this](HostId from, RefreshReq req) -> Task<Result<RefreshResp>> {
+  rpc_.HandleTraced<RefreshReq, RefreshResp>(
+      [this](HostId from, RefreshReq req, TraceContext ctx) -> Task<Result<RefreshResp>> {
         // Best-effort conditional install under a short-lived local
         // transaction so refreshes never cut ahead of client locks. The
         // refresh transaction gets the oldest possible timestamp: under
@@ -206,7 +209,7 @@ void RepresentativeServer::RegisterHandlers() {
         txn.serial = refresh_serial_++;
         txn.coordinator = rpc_.host_id();
         const std::string key = SuiteValueKey(req.suite);
-        Status st = co_await participant_.Lock(txn, key, LockMode::kExclusive);
+        Status st = co_await participant_.Lock(txn, key, LockMode::kExclusive, ctx);
         if (!st.ok()) {
           ++stats_.refreshes_skipped;
           co_return RefreshResp{false};  // busy; refresh is opportunistic
@@ -216,7 +219,8 @@ void RepresentativeServer::RegisterHandlers() {
         const Version have = current.ok() ? current.value().version : 0;
         if (req.version > have) {
           VersionedValue next{req.version, std::move(req.contents)};
-          Status wrote = co_await store_.Write(Participant::DataKey(key), next.Serialize());
+          Status wrote =
+              co_await store_.Write(Participant::DataKey(key), next.Serialize(), ctx);
           resp.installed = wrote.ok();
         }
         if (resp.installed) {

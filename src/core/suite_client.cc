@@ -27,7 +27,7 @@ struct ProbeOutcome {
 
 Task<ProbeOutcome> SendProbe(RpcEndpoint* rpc, HostId host, QuorumCandidate candidate,
                              TxnId txn, std::string suite, bool exclusive, bool want_data,
-                             Duration timeout) {
+                             Duration timeout, TraceContext ctx) {
   // if/else, NOT `exclusive ? co_await ... : co_await ...`: GCC 12
   // miscompiles the conditional operator with co_await in its arms — the
   // selected arm's result is copied bitwise, so a string payload ends up
@@ -35,10 +35,10 @@ Task<ProbeOutcome> SendProbe(RpcEndpoint* rpc, HostId host, QuorumCandidate cand
   Result<VersionResp> result = TimeoutError("unprobed");
   if (exclusive) {
     result = co_await rpc->Call<LockVersionReq, VersionResp>(
-        host, LockVersionReq{txn, std::move(suite)}, timeout);
+        host, LockVersionReq{txn, std::move(suite)}, timeout, ctx);
   } else {
     result = co_await rpc->Call<TxnVersionReq, VersionResp>(
-        host, TxnVersionReq{txn, std::move(suite), want_data}, timeout);
+        host, TxnVersionReq{txn, std::move(suite), want_data}, timeout, ctx);
   }
   ProbeOutcome outcome(std::move(candidate), host, std::move(result));
   co_return std::move(outcome);
@@ -148,10 +148,20 @@ void SuiteClient::RegisterMetrics(MetricsRegistry* registry) {
                                  {"suite", config_.suite_name}});
 }
 
-SuiteTransaction SuiteClient::Begin() {
+SuiteTransaction SuiteClient::Begin(TraceContext parent) {
   auto state = std::make_shared<SuiteTransaction::State>();
   state->client = this;
   state->txn = coordinator_->Begin();
+  if (Tracer* tracer = net_->tracer()) {
+    if (parent.valid()) {
+      state->trace = tracer->StartChild(parent, rpc_->host_id(), "client.txn");
+    } else {
+      state->trace = tracer->StartRoot(rpc_->host_id(), "client.txn");
+    }
+    if (state->trace.valid()) {
+      tracer->Annotate(state->trace, "txn=" + state->txn.ToString());
+    }
+  }
   return SuiteTransaction(std::move(state));
 }
 
@@ -214,8 +224,16 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
       PlanFor(options_.strategy);
   const std::vector<QuorumCandidate>& plan = *plan_ref;
 
+  Tracer* tracer = net_->tracer();
+  TraceContext gather_span;
+  if (tracer != nullptr) {
+    gather_span = tracer->StartChild(state->trace, rpc_->host_id(), "phase.gather");
+  }
+
   GatherResult out;
   size_t next_candidate = 0;
+  int rounds_used = 0;
+  bool fastpath_requested = false;
 
   for (int round = 0; round < options_.max_gather_rounds && out.votes < required_votes;
        ++round) {
@@ -233,11 +251,13 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
       break;  // candidate list exhausted
     }
     ++stats_.gather_rounds;
+    ++rounds_used;
 
     // Piggyback request: only in the first round (widening rounds are the
     // failure path; their members are rarely the cheapest current copy).
     const size_t fastpath_target =
         (want_data && round == 0) ? PickFastPathTarget(targets) : targets.size();
+    fastpath_requested = fastpath_requested || fastpath_target < targets.size();
 
     std::vector<Task<ProbeOutcome>> probes;
     probes.reserve(targets.size());
@@ -248,7 +268,7 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
       state->probed.insert(host);
       probes.push_back(SendProbe(rpc_, host, std::move(candidate), state->txn,
                                  config_.suite_name, exclusive, i == fastpath_target,
-                                 options_.probe_timeout));
+                                 options_.probe_timeout, gather_span));
     }
 
     const int base_votes = out.votes;
@@ -294,6 +314,9 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
       } else if (o.result.status().code() == StatusCode::kConflict) {
         // Wait-die said die: the whole transaction must abort and retry.
         ++stats_.conflicts;
+        if (tracer != nullptr) {
+          tracer->EndWith(gather_span, "wait-die conflict");
+        }
         co_return o.result.status();
       }
       // Timeouts and crashes just fail to contribute votes.
@@ -301,6 +324,9 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
   }
 
   if (out.max_config_version > config_.config_version) {
+    if (tracer != nullptr) {
+      tracer->EndWith(gather_span, "stale config");
+    }
     co_return FailedPreconditionError("suite configuration is newer than client's");
   }
   if (out.votes < required_votes) {
@@ -310,9 +336,20 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
                     config_.suite_name + " " + std::to_string(out.votes) + "/" +
                         std::to_string(required_votes));
     }
+    if (tracer != nullptr) {
+      tracer->EndWith(gather_span, "unavailable " + std::to_string(out.votes) + "/" +
+                                       std::to_string(required_votes));
+    }
     co_return UnavailableError("gathered " + std::to_string(out.votes) + "/" +
                                std::to_string(required_votes) + " votes for " +
                                config_.suite_name);
+  }
+  if (tracer != nullptr) {
+    tracer->EndWith(gather_span,
+                    "votes=" + std::to_string(out.votes) + "/" +
+                        std::to_string(required_votes) + " rounds=" +
+                        std::to_string(rounds_used) +
+                        (fastpath_requested ? " fastpath-requested" : ""));
   }
   co_return out;
 }
@@ -331,6 +368,12 @@ Task<Result<SuiteReadResp>> SuiteClient::FetchData(
     }
   }
 
+  Tracer* tracer = net_->tracer();
+  TraceContext fetch_span;
+  if (tracer != nullptr) {
+    fetch_span = tracer->StartChild(state->trace, rpc_->host_id(), "phase.fetch");
+  }
+
   while (!members.empty()) {
     auto best = std::min_element(members.begin(), members.end(),
                                  [](const ProbeReply* a, const ProbeReply* b) {
@@ -340,13 +383,23 @@ Task<Result<SuiteReadResp>> SuiteClient::FetchData(
     const ProbeReply* member = *best;
     members.erase(best);
     Result<SuiteReadResp> data = co_await rpc_->Call<TxnReadSuiteReq, SuiteReadResp>(
-        member->host, TxnReadSuiteReq{state->txn, config_.suite_name}, options_.data_timeout);
+        member->host, TxnReadSuiteReq{state->txn, config_.suite_name}, options_.data_timeout,
+        fetch_span);
     if (data.ok()) {
       if (data.value().version != gather.current) {
+        if (tracer != nullptr) {
+          tracer->EndWith(fetch_span, "version changed under lock");
+        }
         co_return InternalError("representative changed version under our lock");
+      }
+      if (tracer != nullptr) {
+        tracer->EndWith(fetch_span, "from host " + std::to_string(member->host));
       }
       co_return std::move(data.value());
     }
+  }
+  if (tracer != nullptr) {
+    tracer->EndWith(fetch_span, "no current member");
   }
   co_return UnavailableError("no current representative could serve data");
 }
@@ -441,6 +494,9 @@ Task<Result<std::string>> SuiteClient::DoRead(std::shared_ptr<SuiteTransaction::
       for (ProbeReply& r : gather.value().replies) {
         if (r.resp.has_data && r.resp.version == current) {
           ++stats_.fastpath_hits;
+          if (Tracer* tracer = net_->tracer()) {
+            tracer->Annotate(state->trace, "fastpath-hit");
+          }
           // The avoided fetch reply would have cost SuiteReadResp wire bytes.
           stats_.fastpath_bytes_saved += 64 + r.resp.contents.size();
           if (cache_ != nullptr) {
@@ -454,6 +510,9 @@ Task<Result<std::string>> SuiteClient::DoRead(std::shared_ptr<SuiteTransaction::
       // Piggybacked copy stale, lost, or never requested: pay the explicit
       // fetch from a proven-current member.
       ++stats_.fastpath_misses;
+      if (Tracer* tracer = net_->tracer()) {
+        tracer->Annotate(state->trace, "fastpath-miss");
+      }
     }
 
     Result<SuiteReadResp> data = co_await FetchData(state, gather.value());
@@ -483,7 +542,12 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
     std::set<HostId> release = state->participants;
     release.insert(state->probed.begin(), state->probed.end());
     std::vector<HostId> read_only(release.begin(), release.end());
-    co_return co_await coordinator_->CommitTransaction(state->txn, {}, std::move(read_only));
+    Status st = co_await coordinator_->CommitTransaction(state->txn, {},
+                                                         std::move(read_only), state->trace);
+    if (Tracer* tracer = net_->tracer()) {
+      tracer->EndWith(state->trace, "committed read-only");
+    }
+    co_return st;
   }
 
   for (int attempt = 0; attempt <= options_.max_config_retries; ++attempt) {
@@ -519,7 +583,7 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
 
     state->finished = true;
     Status st = co_await coordinator_->CommitTransaction(state->txn, std::move(writes),
-                                                         std::move(read_only));
+                                                         std::move(read_only), state->trace);
     if (st.ok()) {
       ++stats_.commits;
       // The write quorum now holds `next`; remember that for future
@@ -532,6 +596,10 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
       }
     } else {
       ++stats_.aborts;
+    }
+    if (Tracer* tracer = net_->tracer()) {
+      tracer->EndWith(state->trace,
+                      st.ok() ? "committed v" + std::to_string(next) : st.ToString());
     }
     co_return st;
   }
@@ -548,17 +616,30 @@ Task<void> SuiteClient::DoAbort(std::shared_ptr<SuiteTransaction::State> state) 
   std::set<HostId> release = state->participants;
   release.insert(state->probed.begin(), state->probed.end());
   std::vector<HostId> targets(release.begin(), release.end());
-  co_await coordinator_->AbortTransaction(state->txn, std::move(targets));
+  co_await coordinator_->AbortTransaction(state->txn, std::move(targets), state->trace);
+  if (Tracer* tracer = net_->tracer()) {
+    tracer->EndWith(state->trace, "aborted");
+  }
 }
 
 Task<Result<std::string>> SuiteClient::ReadOnce(int retries) {
+  // Root span for the whole operation: retried attempts become sibling
+  // "client.txn" children, so one trace tells the full story of the read.
+  Tracer* tracer = net_->tracer();
+  TraceContext root;
+  if (tracer != nullptr) {
+    root = tracer->StartRoot(rpc_->host_id(), "client.read");
+  }
   Status last = InternalError("no attempts");
   for (int i = 0; i < retries; ++i) {
-    SuiteTransaction txn = Begin();
+    SuiteTransaction txn = Begin(root);
     Result<std::string> contents = co_await txn.Read();
     if (contents.ok()) {
       Status st = co_await txn.Commit();
       if (st.ok()) {
+        if (tracer != nullptr) {
+          tracer->EndWith(root, "ok attempts=" + std::to_string(i + 1));
+        }
         co_return contents;
       }
       last = st;
@@ -568,33 +649,53 @@ Task<Result<std::string>> SuiteClient::ReadOnce(int retries) {
     }
     if (last.code() != StatusCode::kConflict && last.code() != StatusCode::kAborted &&
         last.code() != StatusCode::kTimeout) {
+      if (tracer != nullptr) {
+        tracer->EndWith(root, last.ToString());
+      }
       co_return last;
     }
     // Jittered exponential backoff before retrying a conflicted transaction.
     ++stats_.retries;
     co_await net_->sim()->Sleep(JitteredBackoff(net_->sim()->rng(), i));
   }
+  if (tracer != nullptr) {
+    tracer->EndWith(root, last.ToString());
+  }
   co_return last;
 }
 
 Task<Status> SuiteClient::WriteOnce(std::string contents, int retries) {
+  Tracer* tracer = net_->tracer();
+  TraceContext root;
+  if (tracer != nullptr) {
+    root = tracer->StartRoot(rpc_->host_id(), "client.write");
+  }
   Status last = InternalError("no attempts");
   for (int i = 0; i < retries; ++i) {
-    SuiteTransaction txn = Begin();
+    SuiteTransaction txn = Begin(root);
     Status st = txn.Write(contents);
     if (st.ok()) {
       st = co_await txn.Commit();
     }
     if (st.ok()) {
+      if (tracer != nullptr) {
+        tracer->EndWith(root, "ok attempts=" + std::to_string(i + 1));
+      }
       co_return st;
     }
     last = st;
     if (last.code() != StatusCode::kConflict && last.code() != StatusCode::kAborted &&
         last.code() != StatusCode::kTimeout) {
+      if (tracer != nullptr) {
+        tracer->EndWith(root, last.ToString());
+      }
       co_return last;
     }
     ++stats_.retries;
     co_await net_->sim()->Sleep(JitteredBackoff(net_->sim()->rng(), i));
+  }
+  if (tracer != nullptr) {
+    tracer->EndWith(root, last.ToString());
   }
   co_return last;
 }
@@ -668,6 +769,12 @@ Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
   auto state = std::make_shared<SuiteTransaction::State>();
   state->client = this;
   state->txn = txn;
+  if (Tracer* tracer = net_->tracer()) {
+    state->trace = tracer->StartRoot(rpc_->host_id(), "client.reconfigure");
+    if (state->trace.valid()) {
+      tracer->Annotate(state->trace, "txn=" + txn.ToString());
+    }
+  }
 
   // Write quorum under the OLD configuration (the paper's rule for changing
   // the prefix).
@@ -704,7 +811,8 @@ Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
     }
     state->probed.insert(host);
     Result<VersionResp> locked = co_await rpc_->Call<LockVersionReq, VersionResp>(
-        host, LockVersionReq{state->txn, config_.suite_name}, options_.probe_timeout);
+        host, LockVersionReq{state->txn, config_.suite_name}, options_.probe_timeout,
+        state->trace);
     if (!locked.ok()) {
       co_await DoAbort(state);
       co_return locked.status();
@@ -719,7 +827,7 @@ Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
     state->probed.insert(host);
     Result<Ack> locked = co_await rpc_->Call<LockReq, Ack>(
         host, LockReq{state->txn, SuitePrefixKey(config_.suite_name), LockMode::kExclusive},
-        options_.probe_timeout);
+        options_.probe_timeout, state->trace);
     if (!locked.ok()) {
       co_await DoAbort(state);
       co_return locked.status();
@@ -747,12 +855,15 @@ Task<Status> SuiteClient::TryReconfigure(SuiteConfig new_config, TxnId txn) {
 
   state->finished = true;
   Status st = co_await coordinator_->CommitTransaction(state->txn, std::move(writes),
-                                                       std::move(read_only));
+                                                       std::move(read_only), state->trace);
   if (st.ok()) {
     if (TraceLog* trace = net_->trace()) {
       trace->Record(rpc_->host_id(), TraceKind::kReconfigured, new_config.ToString());
     }
     config_ = std::move(new_config);
+  }
+  if (Tracer* tracer = net_->tracer()) {
+    tracer->EndWith(state->trace, st.ok() ? "installed" : st.ToString());
   }
   co_return st;
 }

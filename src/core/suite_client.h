@@ -131,7 +131,11 @@ class SuiteClient {
   // Attaches a weak representative (cache) on this client's host.
   void AttachCache(WeakRepresentative* cache) { cache_ = cache; }
 
-  SuiteTransaction Begin();
+  // Begins a transaction. A valid `parent` makes the transaction's
+  // "client.txn" span a child of it (the one-shot helpers pass their root
+  // span so retried attempts land under one tree); with tracing enabled and
+  // no parent, the transaction span is itself a root.
+  SuiteTransaction Begin(TraceContext parent = TraceContext());
 
   // One-shot helpers with bounded retry on lock conflicts: each retry is a
   // fresh transaction.

@@ -29,6 +29,11 @@ struct SuiteTransaction::State {
   std::set<HostId> probed;
   std::optional<VersionedValue> read_result;
   std::optional<std::string> pending_write;
+  // This attempt's "client.txn" span. Every phase recorded on behalf of the
+  // transaction (gather, fetch, prepare, disk, commit-ack) parents here, so
+  // the phases tile the attempt span exactly — sim time only advances at
+  // awaits, and the phases are the awaits.
+  TraceContext trace;
 
   // Union of participants and probed: everything that must see the
   // transaction end.

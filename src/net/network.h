@@ -28,6 +28,7 @@
 #include "src/obs/metrics.h"
 #include "src/sim/latency.h"
 #include "src/sim/simulator.h"
+#include "src/trace/span.h"
 #include "src/trace/trace.h"
 
 namespace wvote {
@@ -92,6 +93,12 @@ class Network {
   void SetTraceLog(TraceLog* trace);
   TraceLog* trace() { return trace_; }
 
+  // Optional causal span tracer, shared the same way the TraceLog is: the
+  // RPC layer and storage/txn components reach it through the network they
+  // already hold. Null (the default) keeps every tracing call a no-op.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() { return tracer_; }
+
  private:
   struct Link {
     LatencyModel latency;
@@ -107,6 +114,7 @@ class Network {
   std::vector<int> partition_group_;  // empty: fully connected
   uint64_t next_message_id_ = 1;
   TraceLog* trace_ = nullptr;
+  Tracer* tracer_ = nullptr;
   NetworkStats stats_;
 };
 

@@ -43,6 +43,28 @@ size_t ApproxWireSize(const T& value) {
   }
 }
 
+// Span naming: request structs that declare `static constexpr const char*
+// kRpcName` get "rpc.<Name>" / "handle.<Name>" spans; the rest fall back to
+// a generic label.
+template <typename T>
+constexpr const char* RpcMethodName() {
+  if constexpr (requires { T::kRpcName; }) {
+    return T::kRpcName;
+  } else {
+    return "request";
+  }
+}
+
+// Starts a child span for one side of an RPC, allocating the name only when
+// the span will actually be recorded (disabled tracing stays one branch).
+inline TraceContext StartRpcSpan(Tracer* tracer, const TraceContext& parent,
+                                 HostId host, const char* prefix, const char* method) {
+  if (tracer == nullptr || !tracer->enabled() || !parent.valid()) {
+    return TraceContext();
+  }
+  return tracer->StartChild(parent, host, std::string(prefix) + method);
+}
+
 struct RpcStats {
   uint64_t calls_started = 0;
   uint64_t calls_ok = 0;
@@ -90,24 +112,44 @@ class RpcEndpoint {
   // unless the host has crashed in the meantime.
   template <typename Req, typename Resp>
   void Handle(std::function<Task<Result<Resp>>(HostId, Req)> handler) {
+    std::function<Task<Result<Resp>>(HostId, Req, TraceContext)> traced =
+        [handler = std::move(handler)](HostId from, Req req, TraceContext) {
+          return handler(from, std::move(req));
+        };
+    HandleTraced<Req, Resp>(std::move(traced));
+  }
+
+  // Like Handle, but the handler also receives the server-side span context
+  // (the "handle.<Req>" span) so it can record deeper child spans — lock
+  // waits, disk flushes — under the caller's trace.
+  template <typename Req, typename Resp>
+  void HandleTraced(std::function<Task<Result<Resp>>(HostId, Req, TraceContext)> handler) {
     auto [it, inserted] = handlers_.emplace(
         std::type_index(typeid(Req)),
-        [this, handler = std::move(handler)](HostId from, uint64_t call_id, std::any body) {
+        [this, handler = std::move(handler)](HostId from, uint64_t call_id, std::any body,
+                                             TraceContext trace) {
           // Bind to a named object before the coroutine call (GCC 12 rule in
           // src/sim/task.h).
           Req req = std::any_cast<Req>(std::move(body));
-          Spawn(RunHandler<Req, Resp>(handler, from, call_id, std::move(req)));
+          Spawn(RunHandler<Req, Resp>(handler, from, call_id, std::move(req), trace));
         });
     WVOTE_CHECK_MSG(inserted, "duplicate RPC handler registration");
   }
 
   // Issues one request and awaits the reply or the timeout, whichever comes
-  // first.
+  // first. A valid `ctx` opens an "rpc.<Req>" child span covering the round
+  // trip and rides the envelope so the server parents its work under it.
   template <typename Req, typename Resp>
-  Task<Result<Resp>> Call(HostId to, Req req, Duration timeout) {
+  Task<Result<Resp>> Call(HostId to, Req req, Duration timeout,
+                          TraceContext ctx = TraceContext()) {
     ++stats_.calls_started;
+    Tracer* tracer = net_->tracer();
+    TraceContext call_span = StartRpcSpan(tracer, ctx, host_id(), "rpc.", RpcMethodName<Req>());
     if (!host_->up()) {
       ++stats_.calls_aborted;
+      if (tracer != nullptr) {
+        tracer->EndWith(call_span, "caller down");
+      }
       co_return AbortedError("caller host down");
     }
 
@@ -123,6 +165,7 @@ class RpcEndpoint {
     Envelope env;
     env.is_request = true;
     env.call_id = call_id;
+    env.trace = call_span.valid() ? call_span : ctx;
     env.body = std::move(req);
     const size_t bytes = ApproxWireSize(std::any_cast<const Req&>(env.body));
     net_->Send(host_id(), to, std::move(env), bytes);
@@ -137,19 +180,27 @@ class RpcEndpoint {
       } else {
         ++stats_.calls_aborted;
       }
+      if (tracer != nullptr) {
+        tracer->EndWith(call_span,
+                        raw.status().code() == StatusCode::kTimeout ? "timeout" : "aborted");
+      }
       co_return raw.status();
     }
     ++stats_.calls_ok;
+    if (tracer != nullptr) {
+      tracer->End(call_span);
+    }
     co_return std::any_cast<Result<Resp>>(std::move(raw.value()));
   }
 
   // Retransmits an idempotent request up to `attempts` times on timeout.
   // Non-timeout failures are returned immediately.
   template <typename Req, typename Resp>
-  Task<Result<Resp>> CallWithRetry(HostId to, Req req, Duration timeout, int attempts) {
+  Task<Result<Resp>> CallWithRetry(HostId to, Req req, Duration timeout, int attempts,
+                                   TraceContext ctx = TraceContext()) {
     Result<Resp> last = TimeoutError("no attempts made");
     for (int i = 0; i < attempts; ++i) {
-      last = co_await Call<Req, Resp>(to, req, timeout);
+      last = co_await Call<Req, Resp>(to, req, timeout, ctx);
       if (last.ok() || last.status().code() != StatusCode::kTimeout) {
         co_return last;
       }
@@ -161,15 +212,32 @@ class RpcEndpoint {
   struct Envelope {
     bool is_request = false;
     uint64_t call_id = 0;
-    std::any body;  // request: Req; response: Result<Resp>
+    TraceContext trace;  // requests only: the caller's rpc.<Req> span
+    std::any body;       // request: Req; response: Result<Resp>
     size_t body_bytes = 64;
   };
 
   template <typename Req, typename Resp>
-  Task<void> RunHandler(std::function<Task<Result<Resp>>(HostId, Req)> handler, HostId from,
-                        uint64_t call_id, Req req) {
+  Task<void> RunHandler(std::function<Task<Result<Resp>>(HostId, Req, TraceContext)> handler,
+                        HostId from, uint64_t call_id, Req req, TraceContext trace) {
     ++stats_.requests_handled;
-    Result<Resp> result = co_await handler(from, std::move(req));
+    Tracer* tracer = net_->tracer();
+    TraceContext span =
+        StartRpcSpan(tracer, trace, host_id(), "handle.", RpcMethodName<Req>());
+    TraceContext handler_ctx;
+    if (span.valid()) {
+      handler_ctx = span;
+    } else {
+      handler_ctx = trace;
+    }
+    Result<Resp> result = co_await handler(from, std::move(req), handler_ctx);
+    if (tracer != nullptr) {
+      if (result.ok()) {
+        tracer->End(span);
+      } else {
+        tracer->EndWith(span, result.status().ToString());
+      }
+    }
     // Send drops the reply if this host crashed while handling; the caller
     // then times out, matching a real server that died before responding.
     size_t bytes = result.ok() ? ApproxWireSize(result.value()) : size_t{64};
@@ -190,7 +258,7 @@ class RpcEndpoint {
       if (it == handlers_.end()) {
         return;  // no such service on this host; caller times out
       }
-      it->second(msg.from, env->call_id, std::move(env->body));
+      it->second(msg.from, env->call_id, std::move(env->body), env->trace);
       return;
     }
     auto it = outstanding_.find(env->call_id);
@@ -211,7 +279,8 @@ class RpcEndpoint {
   Network* net_;
   Host* host_;
   uint64_t next_call_id_ = 1;
-  std::map<std::type_index, std::function<void(HostId, uint64_t, std::any)>> handlers_;
+  std::map<std::type_index, std::function<void(HostId, uint64_t, std::any, TraceContext)>>
+      handlers_;
   std::map<uint64_t, Promise<Result<std::any>>> outstanding_;
   RpcStats stats_;
 };

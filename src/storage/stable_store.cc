@@ -71,14 +71,14 @@ void StableStore::Install(const std::string& key, std::string value) {
   slot.valid = true;
 }
 
-Task<Status> StableStore::Write(std::string key, std::string value) {
+Task<Status> StableStore::Write(std::string key, std::string value, TraceContext ctx) {
   std::vector<std::pair<std::string, std::string>> one;
   one.emplace_back(std::move(key), std::move(value));
-  return WriteBatch(std::move(one));
+  return WriteBatch(std::move(one), ctx);
 }
 
 Task<Status> StableStore::WriteBatch(
-    std::vector<std::pair<std::string, std::string>> entries) {
+    std::vector<std::pair<std::string, std::string>> entries, TraceContext ctx) {
   if (entries.empty()) {
     co_return Status::Ok();
   }
@@ -87,6 +87,10 @@ Task<Status> StableStore::WriteBatch(
   }
   stats_.writes_started += entries.size();
   const uint64_t epoch = host_->crash_epoch();
+  TraceContext disk_span;
+  if (tracer_ != nullptr) {
+    disk_span = tracer_->StartChild(ctx, host_->id(), "phase.disk");
+  }
 
   for (const auto& [key, value] : entries) {
     TearTarget(key);
@@ -105,12 +109,17 @@ Task<Status> StableStore::WriteBatch(
     Promise<Status> done(sim_);
     Future<Status> woken = done.GetFuture();
     batch->waiters.push_back(std::move(done));
-    co_return co_await std::move(woken);
+    Status joined = co_await std::move(woken);
+    if (disk_span.valid()) {
+      tracer_->EndWith(disk_span,
+                       "batch=" + std::to_string(batch->batch_id) + " coalesced");
+    }
+    co_return joined;
   }
 
   // Leader: open a batch, pay one latency window, then flush everything
   // that staged into it while the disk was "busy".
-  std::shared_ptr<FlushBatch> batch = std::make_shared<FlushBatch>(epoch);
+  std::shared_ptr<FlushBatch> batch = std::make_shared<FlushBatch>(epoch, next_batch_id_++);
   for (auto& [key, value] : entries) {
     batch->staged[key] = std::move(value);
   }
@@ -136,33 +145,52 @@ Task<Status> StableStore::WriteBatch(
       ++stats_.writes_completed;
     }
   }
+  if (disk_span.valid()) {
+    tracer_->EndWith(disk_span, "batch=" + std::to_string(batch->batch_id) + " leader pages=" +
+                                    std::to_string(batch->staged.size()) +
+                                    (result.ok() ? "" : " torn"));
+  }
   for (Promise<Status>& waiter : batch->waiters) {
     waiter.Set(result);
   }
   co_return result;
 }
 
-Task<Result<std::string>> StableStore::Read(std::string key) {
+Task<Result<std::string>> StableStore::Read(std::string key, TraceContext ctx) {
   if (!host_->up()) {
     co_return AbortedError("host down");
   }
   ++stats_.reads;
   const uint64_t epoch = host_->crash_epoch();
+  TraceContext disk_span;
+  if (tracer_ != nullptr) {
+    disk_span = tracer_->StartChild(ctx, host_->id(), "phase.disk");
+  }
 
   co_await sim_->Sleep(read_latency_.Sample(sim_->rng()));
 
+  if (disk_span.valid()) {
+    tracer_->EndWith(disk_span, "read " + key);
+  }
   if (!host_->up() || host_->crash_epoch() != epoch) {
     co_return AbortedError("crash during stable read of " + key);
   }
   co_return ReadCommitted(key);
 }
 
-Task<Status> StableStore::Delete(std::string key) {
+Task<Status> StableStore::Delete(std::string key, TraceContext ctx) {
   if (!host_->up()) {
     co_return AbortedError("host down");
   }
   const uint64_t epoch = host_->crash_epoch();
+  TraceContext disk_span;
+  if (tracer_ != nullptr) {
+    disk_span = tracer_->StartChild(ctx, host_->id(), "phase.disk");
+  }
   co_await sim_->Sleep(write_latency_.Sample(sim_->rng()));
+  if (disk_span.valid()) {
+    tracer_->EndWith(disk_span, "delete " + key);
+  }
   if (!host_->up() || host_->crash_epoch() != epoch) {
     co_return AbortedError("crash during stable delete of " + key);
   }

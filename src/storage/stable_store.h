@@ -44,6 +44,7 @@
 #include "src/sim/latency.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
+#include "src/trace/span.h"
 
 namespace wvote {
 
@@ -70,21 +71,27 @@ class StableStore {
 
   // Durable, crash-atomic write of a whole page. Returns kAborted if the
   // host crashed while the write was in flight (the old value survives).
-  // Concurrent writes group-commit: see the header comment.
-  Task<Status> Write(std::string key, std::string value);
+  // Concurrent writes group-commit: see the header comment. A valid `ctx`
+  // records a "phase.disk" child span annotated with the group-commit batch
+  // id and this writer's role (leader / coalesced joiner).
+  Task<Status> Write(std::string key, std::string value, TraceContext ctx = TraceContext());
 
   // Durable write of several pages under ONE latency charge (and, like
   // Write, joining an already-open flush instead of paying at all). All
   // pages install together or — on a crash during the window — none do.
-  Task<Status> WriteBatch(std::vector<std::pair<std::string, std::string>> entries);
+  Task<Status> WriteBatch(std::vector<std::pair<std::string, std::string>> entries,
+                          TraceContext ctx = TraceContext());
 
   // Durable read with simulated disk latency. kNotFound if the page was
   // never completely written; kAborted on crash mid-read.
-  Task<Result<std::string>> Read(std::string key);
+  Task<Result<std::string>> Read(std::string key, TraceContext ctx = TraceContext());
 
   // Durably removes a page (log garbage collection). A crash mid-delete may
   // leave the page present; deletes must therefore be idempotent upstream.
-  Task<Status> Delete(std::string key);
+  Task<Status> Delete(std::string key, TraceContext ctx = TraceContext());
+
+  // Disk spans are attributed to this store's host; null disables (default).
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
   // Instant, latency-free read of the committed value; used during recovery
   // and by tests/invariant checks. Never observes torn state as a value.
@@ -115,8 +122,9 @@ class StableStore {
   // open, plus a wake-up promise per joiner. Shared so the leader can
   // resolve joiners that outlive `current_batch_` being replaced.
   struct FlushBatch {
-    explicit FlushBatch(uint64_t e) : epoch(e) {}
+    FlushBatch(uint64_t e, uint64_t id) : epoch(e), batch_id(id) {}
     uint64_t epoch;     // crash epoch the batch was opened in
+    uint64_t batch_id;  // stable id for trace annotations
     bool open = true;   // accepting joiners until the leader wakes
     std::map<std::string, std::string> staged;  // key -> last value staged
     std::vector<Promise<Status>> waiters;       // one per joiner
@@ -136,6 +144,8 @@ class StableStore {
   LatencyModel read_latency_;
   std::map<std::string, Page> pages_;
   std::shared_ptr<FlushBatch> current_batch_;
+  uint64_t next_batch_id_ = 1;
+  Tracer* tracer_ = nullptr;
   StableStoreStats stats_;
 };
 

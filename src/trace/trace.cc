@@ -29,8 +29,14 @@ const char* TraceKindName(TraceKind kind) {
       return "refresh-installed";
     case TraceKind::kReconfigured:
       return "reconfigured";
+    case TraceKind::kPhase2Completed:
+      return "phase2-completed";
+    case TraceKind::kSlowOp:
+      return "slow-op";
     case TraceKind::kCustom:
       return "custom";
+    case TraceKind::kNumKinds:
+      break;
   }
   return "?";
 }
@@ -38,6 +44,8 @@ const char* TraceKindName(TraceKind kind) {
 TraceLog::TraceLog(Simulator* sim, size_t capacity) : sim_(sim), ring_(capacity) {}
 
 void TraceLog::Record(HostId host, TraceKind kind, std::string detail) {
+  static_assert(sizeof(counts_) / sizeof(counts_[0]) == kNumTraceKinds,
+                "counts_ must have one slot per TraceKind enumerator");
   TraceEvent& slot = ring_[next_];
   slot.at = sim_->Now();
   slot.host = host;
@@ -45,7 +53,7 @@ void TraceLog::Record(HostId host, TraceKind kind, std::string detail) {
   slot.detail = std::move(detail);
   next_ = (next_ + 1) % ring_.size();
   ++total_recorded_;
-  ++counts_[static_cast<size_t>(kind) & 15];
+  ++counts_[static_cast<size_t>(kind)];
 }
 
 std::vector<TraceEvent> TraceLog::Snapshot() const {
@@ -81,7 +89,7 @@ std::vector<TraceEvent> TraceLog::OfKind(TraceKind kind) const {
 }
 
 uint64_t TraceLog::CountOf(TraceKind kind) const {
-  return counts_[static_cast<size_t>(kind) & 15];
+  return counts_[static_cast<size_t>(kind)];
 }
 
 std::string TraceLog::Dump(size_t max_lines) const {

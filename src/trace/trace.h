@@ -35,8 +35,13 @@ enum class TraceKind : uint8_t {
   kQuorumFailed,     // client could not gather enough votes
   kRefreshInstalled, // stale representative brought current
   kReconfigured,     // new prefix installed
+  kPhase2Completed,  // background phase-2 fanout / retrier converged (txn in detail)
+  kSlowOp,           // root span exceeded the slow-op threshold (tree in detail)
   kCustom,
+  kNumKinds,  // sentinel — keep last, never record
 };
+
+inline constexpr size_t kNumTraceKinds = static_cast<size_t>(TraceKind::kNumKinds);
 
 const char* TraceKindName(TraceKind kind);
 
@@ -72,7 +77,9 @@ class TraceLog {
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;
   uint64_t total_recorded_ = 0;
-  uint64_t counts_[16] = {};
+  uint64_t counts_[kNumTraceKinds] = {};
+  static_assert(kNumTraceKinds <= 64,
+                "TraceKind grew suspiciously large — audit counts_ sizing");
 };
 
 }  // namespace wvote

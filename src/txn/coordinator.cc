@@ -12,15 +12,16 @@ using HostAck = std::pair<HostId, Result<Ack>>;
 // Drives one participant's commit with bounded retries, tagging the result
 // with the participant so completion-order joins stay correlated.
 Task<HostAck> CallCommitAt(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout,
-                           int retries) {
+                           int retries, TraceContext ctx) {
   Result<Ack> ack =
-      co_await rpc->CallWithRetry<CommitReq, Ack>(host, CommitReq{txn}, timeout, retries);
+      co_await rpc->CallWithRetry<CommitReq, Ack>(host, CommitReq{txn}, timeout, retries, ctx);
   co_return HostAck{host, std::move(ack)};
 }
 
 // Fire-and-forget lock release at a read-only participant.
-Task<void> SendAbortTo(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout) {
-  (void)co_await rpc->Call<AbortReq, Ack>(host, AbortReq{txn}, timeout);
+Task<void> SendAbortTo(RpcEndpoint* rpc, HostId host, TxnId txn, Duration timeout,
+                       TraceContext ctx) {
+  (void)co_await rpc->Call<AbortReq, Ack>(host, AbortReq{txn}, timeout, ctx);
 }
 
 }  // namespace
@@ -43,10 +44,11 @@ void Coordinator::RegisterMetrics(MetricsRegistry* registry) {
 
 Coordinator::Coordinator(RpcEndpoint* rpc, StableStore* store, CoordinatorOptions options)
     : rpc_(rpc), store_(store), options_(options) {
-  rpc_->Handle<DecisionInquiryReq, DecisionResp>(
-      [this](HostId from, DecisionInquiryReq req) -> Task<Result<DecisionResp>> {
+  rpc_->HandleTraced<DecisionInquiryReq, DecisionResp>(
+      [this](HostId from, DecisionInquiryReq req,
+             TraceContext ctx) -> Task<Result<DecisionResp>> {
         ++stats_.inquiries_served;
-        Result<std::string> rec = co_await store_->Read(DecisionKey(req.txn));
+        Result<std::string> rec = co_await store_->Read(DecisionKey(req.txn), ctx);
         if (rec.ok() && rec.value() == "C") {
           co_return DecisionResp{TxnDecision::kCommitted};
         }
@@ -76,7 +78,9 @@ TxnId Coordinator::BeginAt(int64_t timestamp_us) {
 
 Task<Status> Coordinator::CommitTransaction(TxnId txn,
                                             std::map<HostId, std::vector<WriteIntent>> writes,
-                                            std::vector<HostId> read_only_participants) {
+                                            std::vector<HostId> read_only_participants,
+                                            TraceContext ctx) {
+  Tracer* tracer = rpc_->network()->tracer();
   std::vector<HostId> writers;
   writers.reserve(writes.size());
   for (const auto& [host, intents] : writes) {
@@ -88,18 +92,25 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
     // waiting for acknowledgements (the client's result does not depend on
     // them, and waiting would add a round trip to every read).
     for (HostId host : read_only_participants) {
-      Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout));
+      Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout, TraceContext()));
     }
     ++stats_.committed;
     co_return Status::Ok();
   }
 
   // Phase 1: prepare at every writer in parallel.
+  TraceContext prepare_span;
+  if (tracer != nullptr) {
+    prepare_span = tracer->StartChild(ctx, rpc_->host_id(), "phase.prepare");
+    if (prepare_span.valid()) {
+      tracer->Annotate(prepare_span, "writers=" + std::to_string(writers.size()));
+    }
+  }
   std::vector<Task<Result<Ack>>> prepares;
   prepares.reserve(writers.size());
   for (auto& [host, intents] : writes) {
     prepares.push_back(rpc_->Call<PrepareReq, Ack>(host, PrepareReq{txn, std::move(intents)},
-                                                   options_.rpc_timeout));
+                                                   options_.rpc_timeout, prepare_span));
   }
   std::vector<Result<Ack>> votes =
       co_await JoinAll<Result<Ack>>(rpc_->sim(), std::move(prepares));
@@ -114,17 +125,22 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
   if (votes.size() != writers.size() && failure.ok()) {
     failure = InternalError("missing prepare votes");
   }
+  if (tracer != nullptr) {
+    tracer->EndWith(prepare_span, failure.ok() ? "all voted yes" : "no-vote");
+  }
   if (!failure.ok()) {
     std::vector<HostId> everyone = writers;
     everyone.insert(everyone.end(), read_only_participants.begin(),
                     read_only_participants.end());
-    co_await AbortTransaction(txn, std::move(everyone));
+    co_await AbortTransaction(txn, std::move(everyone), ctx);
     ++stats_.aborted;
     co_return AbortedError("prepare failed: " + failure.ToString());
   }
 
-  // Decision point: durably log commit before telling anyone.
-  Status logged = co_await store_->Write(DecisionKey(txn), "C");
+  // Decision point: durably log commit before telling anyone. The ctx flows
+  // straight through, so the decision log shows up as the transaction's
+  // phase.disk span.
+  Status logged = co_await store_->Write(DecisionKey(txn), "C", ctx);
   if (!logged.ok()) {
     // Crash while logging: no participant will ever see a commit record, so
     // presumed abort resolves every prepared branch consistently.
@@ -133,8 +149,15 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
   }
 
   if (options_.sync_phase2) {
+    TraceContext ack_span;
+    if (tracer != nullptr) {
+      ack_span = tracer->StartChild(ctx, rpc_->host_id(), "phase.commit_ack");
+    }
     Status phase2 = co_await SendPhase2(txn, std::move(writers),
-                                        std::move(read_only_participants));
+                                        std::move(read_only_participants), ack_span);
+    if (tracer != nullptr) {
+      tracer->EndWith(ack_span, "sync");
+    }
     if (!phase2.ok()) {
       co_return phase2;  // only possible if our host crashed
     }
@@ -147,36 +170,59 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
   // crashes before any CommitReq lands, the decision record still answers
   // participant inquiries (their in-doubt watchdogs fire even without a
   // participant restart), so every prepared branch converges to commit.
+  if (tracer != nullptr) {
+    // Zero-length marker: the client pays nothing for phase 2 here.
+    TraceContext ack_span = tracer->StartChild(ctx, rpc_->host_id(), "phase.commit_ack");
+    tracer->EndWith(ack_span, "async: deferred to background fan-out");
+  }
   ++stats_.async_phase2_spawned;
   Spawn(RunPhase2InBackground(txn, std::move(writers),
-                              std::move(read_only_participants)));
+                              std::move(read_only_participants), ctx));
   ++stats_.committed;
   co_return Status::Ok();
 }
 
 Task<void> Coordinator::RunPhase2InBackground(TxnId txn, std::vector<HostId> writers,
-                                              std::vector<HostId> read_only) {
-  Status st = co_await SendPhase2(txn, std::move(writers), std::move(read_only));
+                                              std::vector<HostId> read_only,
+                                              TraceContext ctx) {
+  Tracer* tracer = rpc_->network()->tracer();
+  TraceContext span;
+  if (tracer != nullptr) {
+    span = tracer->StartChild(ctx, rpc_->host_id(), "phase2.background");
+    if (span.valid()) {
+      tracer->Annotate(span, "txn=" + txn.ToString() +
+                                 " writers=" + std::to_string(writers.size()));
+    }
+  }
+  Status st = co_await SendPhase2(txn, std::move(writers), std::move(read_only), span);
   if (st.ok()) {
     ++stats_.async_phase2_completed;
+    // Completion event with the owning txn id: the write's observability
+    // does not end at the client ack — tests assert causality on this.
+    if (TraceLog* trace = rpc_->network()->trace()) {
+      trace->Record(rpc_->host_id(), TraceKind::kPhase2Completed, txn.ToString() + " fanout");
+    }
+  }
+  if (tracer != nullptr) {
+    tracer->EndWith(span, st.ok() ? "delivered" : "coordinator crashed");
   }
   // !ok means this host crashed mid-fan-out; participants converge through
   // the decision record (recovery inquiry or in-doubt watchdog).
 }
 
 Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,
-                                     std::vector<HostId> read_only) {
+                                     std::vector<HostId> read_only, TraceContext ctx) {
   // Read-only participants only hold locks; an abort releases them and is
   // indistinguishable from a commit for them.
   for (HostId host : read_only) {
-    Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout));
+    Spawn(SendAbortTo(rpc_, host, txn, options_.rpc_timeout, ctx));
   }
 
   std::vector<Task<HostAck>> commits;
   commits.reserve(writers.size());
   for (HostId host : writers) {
     commits.push_back(CallCommitAt(rpc_, host, txn, options_.rpc_timeout,
-                                   options_.commit_retries));
+                                   options_.commit_retries, ctx));
   }
   std::vector<HostAck> acks = co_await JoinAll<HostAck>(rpc_->sim(), std::move(commits));
 
@@ -189,34 +235,60 @@ Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,
   // will also converge on its own via recovery + decision inquiry.
   for (auto& [host, ack] : acks) {
     if (!ack.ok()) {
-      Spawn(RetryCommitForever(txn, host));
+      Spawn(RetryCommitForever(txn, host, ctx));
     }
   }
   co_return Status::Ok();
 }
 
-Task<void> Coordinator::RetryCommitForever(TxnId txn, HostId participant) {
+Task<void> Coordinator::RetryCommitForever(TxnId txn, HostId participant, TraceContext ctx) {
+  Tracer* tracer = rpc_->network()->tracer();
+  TraceContext span;
+  if (tracer != nullptr) {
+    span = tracer->StartChild(ctx, rpc_->host_id(), "phase2.retrier");
+    if (span.valid()) {
+      tracer->Annotate(span, "txn=" + txn.ToString() +
+                                 " participant=" + std::to_string(participant));
+    }
+  }
   for (;;) {
     if (!rpc_->host()->up()) {
+      if (tracer != nullptr) {
+        tracer->EndWith(span, "coordinator down");
+      }
       co_return;
     }
-    Result<Ack> ack =
-        co_await rpc_->Call<CommitReq, Ack>(participant, CommitReq{txn}, options_.rpc_timeout);
+    Result<Ack> ack = co_await rpc_->Call<CommitReq, Ack>(participant, CommitReq{txn},
+                                                          options_.rpc_timeout, span);
     if (ack.ok()) {
+      // Same causality breadcrumb as the fan-out: the retrier finishing IS
+      // this transaction's convergence at `participant`.
+      if (TraceLog* trace = rpc_->network()->trace()) {
+        trace->Record(rpc_->host_id(), TraceKind::kPhase2Completed,
+                      txn.ToString() + " retrier participant=" + std::to_string(participant));
+      }
+      if (tracer != nullptr) {
+        tracer->EndWith(span, "delivered");
+      }
       co_return;
     }
     if (ack.status().code() == StatusCode::kAborted) {
+      if (tracer != nullptr) {
+        tracer->EndWith(span, "coordinator crashed");
+      }
       co_return;  // our host crashed
     }
     co_await rpc_->sim()->Sleep(options_.rpc_timeout);
   }
 }
 
-Task<void> Coordinator::AbortTransaction(TxnId txn, std::vector<HostId> participants) {
+Task<void> Coordinator::AbortTransaction(TxnId txn, std::vector<HostId> participants,
+                                         TraceContext ctx) {
   std::vector<Task<Result<Ack>>> aborts;
   aborts.reserve(participants.size());
   for (HostId host : participants) {
-    aborts.push_back(rpc_->Call<AbortReq, Ack>(host, AbortReq{txn}, options_.rpc_timeout));
+    aborts.push_back(
+        rpc_->Call<AbortReq, Ack>(host, AbortReq{txn}, options_.rpc_timeout, ctx));
   }
   (void)co_await JoinAll<Result<Ack>>(rpc_->sim(), std::move(aborts));
 }

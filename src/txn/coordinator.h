@@ -66,13 +66,17 @@ class Coordinator {
   // Read-only participants just get their locks released. Returns OK only
   // after the decision is durable and commit messages are on their way —
   // with sync_phase2, only after every participant acknowledged (or was
-  // handed to a background retrier).
+  // handed to a background retrier). A valid `ctx` records phase.prepare /
+  // phase.disk / phase.commit_ack child spans, and the background phase-2
+  // fan-out and retriers continue the same trace after the client's ack.
   Task<Status> CommitTransaction(TxnId txn,
                                  std::map<HostId, std::vector<WriteIntent>> writes,
-                                 std::vector<HostId> read_only_participants);
+                                 std::vector<HostId> read_only_participants,
+                                 TraceContext ctx = TraceContext());
 
   // Aborts everywhere; best-effort (participants presume abort anyway).
-  Task<void> AbortTransaction(TxnId txn, std::vector<HostId> participants);
+  Task<void> AbortTransaction(TxnId txn, std::vector<HostId> participants,
+                              TraceContext ctx = TraceContext());
 
   const CoordinatorStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -88,11 +92,11 @@ class Coordinator {
  private:
   static std::string DecisionKey(const TxnId& txn);
   Task<Status> SendPhase2(TxnId txn, std::vector<HostId> writers,
-                          std::vector<HostId> read_only);
+                          std::vector<HostId> read_only, TraceContext ctx);
   // Spawned wrapper around SendPhase2 for the asynchronous commit path.
   Task<void> RunPhase2InBackground(TxnId txn, std::vector<HostId> writers,
-                                   std::vector<HostId> read_only);
-  Task<void> RetryCommitForever(TxnId txn, HostId participant);
+                                   std::vector<HostId> read_only, TraceContext ctx);
+  Task<void> RetryCommitForever(TxnId txn, HostId participant, TraceContext ctx);
 
   RpcEndpoint* rpc_;
   StableStore* store_;

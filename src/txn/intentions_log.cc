@@ -46,11 +46,13 @@ std::string IntentionsLog::KeyFor(const TxnId& txn) {
          "." + std::to_string(txn.coordinator);
 }
 
-Task<Status> IntentionsLog::Put(const TxnRecord& record) {
-  return store_->Write(KeyFor(record.txn), record.Serialize());
+Task<Status> IntentionsLog::Put(const TxnRecord& record, TraceContext ctx) {
+  return store_->Write(KeyFor(record.txn), record.Serialize(), ctx);
 }
 
-Task<Status> IntentionsLog::Remove(const TxnId& txn) { return store_->Delete(KeyFor(txn)); }
+Task<Status> IntentionsLog::Remove(const TxnId& txn, TraceContext ctx) {
+  return store_->Delete(KeyFor(txn), ctx);
+}
 
 std::vector<TxnRecord> IntentionsLog::RecoverAll() const {
   std::vector<TxnRecord> records;

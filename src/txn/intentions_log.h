@@ -41,8 +41,9 @@ class IntentionsLog {
  public:
   explicit IntentionsLog(StableStore* store) : store_(store) {}
 
-  Task<Status> Put(const TxnRecord& record);
-  Task<Status> Remove(const TxnId& txn);
+  // `ctx` flows into the underlying stable-store write ("phase.disk" span).
+  Task<Status> Put(const TxnRecord& record, TraceContext ctx = TraceContext());
+  Task<Status> Remove(const TxnId& txn, TraceContext ctx = TraceContext());
 
   // Latency-free committed-state scan for crash recovery.
   std::vector<TxnRecord> RecoverAll() const;

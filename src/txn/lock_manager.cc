@@ -97,7 +97,7 @@ void LockManager::MaybeExpireHolders(const std::string& key) {
 }
 
 Task<Status> LockManager::Acquire(TxnId txn, std::string key, LockMode mode,
-                                  Duration timeout) {
+                                  Duration timeout, TraceContext ctx) {
   MaybeExpireHolders(key);
   Entry& entry = table_[key];
 
@@ -138,6 +138,17 @@ Task<Status> LockManager::Acquire(TxnId txn, std::string key, LockMode mode,
                             " younger than a conflicting holder on " + key);
   }
 
+  // We are about to park: open the lock-wait span (grants and dies above
+  // never reach here, so uncontended acquires record nothing).
+  TraceContext wait_span;
+  if (tracer_ != nullptr) {
+    wait_span = tracer_->StartChild(ctx, host_, "phase.lock_wait");
+    if (wait_span.valid()) {
+      tracer_->Annotate(wait_span,
+                        "key=" + key + " mode=" + LockModeName(mode) + " txn=" + txn.ToString());
+    }
+  }
+
   Promise<Status> wakeup(sim_);
   Future<Status> woken = wakeup.GetFuture();
   entry.waiters.push_back(Waiter{txn, mode, wakeup});
@@ -150,6 +161,9 @@ Task<Status> LockManager::Acquire(TxnId txn, std::string key, LockMode mode,
 
   Status st = co_await std::move(woken);
   timeout_event.Cancel();
+  if (tracer_ != nullptr && wait_span.valid()) {
+    tracer_->EndWith(wait_span, st.ok() ? "granted" : st.ToString());
+  }
   if (st.ok()) {
     ++stats_.grants_after_wait;
   } else {

@@ -25,6 +25,7 @@
 #include "src/sim/future.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
+#include "src/trace/span.h"
 #include "src/txn/txn_id.h"
 
 namespace wvote {
@@ -58,7 +59,16 @@ class LockManager {
   // Acquires `mode` on `key` for `txn`, waiting up to `timeout` if the
   // wait-die rule permits waiting. Re-acquiring a held lock is a no-op;
   // S -> X upgrade succeeds immediately when txn is the sole holder.
-  Task<Status> Acquire(TxnId txn, std::string key, LockMode mode, Duration timeout);
+  // A valid `ctx` records a "phase.lock_wait" child span — only when the
+  // request actually parks (immediate grants and dies produce no span).
+  Task<Status> Acquire(TxnId txn, std::string key, LockMode mode, Duration timeout,
+                       TraceContext ctx = TraceContext());
+
+  // Lock-wait spans are attributed to `host` (the owning participant).
+  void SetTracer(Tracer* tracer, HostId host) {
+    tracer_ = tracer;
+    host_ = host;
+  }
 
   // Releases every lock held by `txn` and wakes eligible waiters.
   void ReleaseAll(TxnId txn);
@@ -129,6 +139,8 @@ class LockManager {
   bool MustDie(const Entry& entry, TxnId txn, LockMode mode);
 
   Simulator* sim_;
+  Tracer* tracer_ = nullptr;
+  HostId host_ = kInvalidHost;
   std::map<std::string, Entry> table_;
   Duration lease_ = Duration::Zero();
   std::function<bool(const TxnId&)> lease_exempt_;

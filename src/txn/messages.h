@@ -48,6 +48,7 @@ struct LockReq {
 
   LockReq() = default;
   LockReq(TxnId t, std::string k, LockMode m) : txn(t), key(std::move(k)), mode(m) {}
+  static constexpr const char* kRpcName = "LockReq";
 };
 
 // S-lock `key` and return its committed value.
@@ -57,6 +58,7 @@ struct TxnReadReq {
 
   TxnReadReq() = default;
   TxnReadReq(TxnId t, std::string k) : txn(t), key(std::move(k)) {}
+  static constexpr const char* kRpcName = "TxnReadReq";
 };
 struct TxnReadResp {
   std::string value;
@@ -74,6 +76,7 @@ struct PrepareReq {
 
   PrepareReq() = default;
   PrepareReq(TxnId t, std::vector<WriteIntent> w) : txn(t), writes(std::move(w)) {}
+  static constexpr const char* kRpcName = "PrepareReq";
   size_t ApproxBytes() const {
     size_t n = 64;
     for (const WriteIntent& w : writes) {
@@ -89,12 +92,14 @@ struct CommitReq {
 
   CommitReq() = default;
   explicit CommitReq(TxnId t) : txn(t) {}
+  static constexpr const char* kRpcName = "CommitReq";
 };
 struct AbortReq {
   TxnId txn;
 
   AbortReq() = default;
   explicit AbortReq(TxnId t) : txn(t) {}
+  static constexpr const char* kRpcName = "AbortReq";
 };
 
 // Recovery: a participant with an in-doubt prepared record asks the
@@ -104,6 +109,7 @@ struct DecisionInquiryReq {
 
   DecisionInquiryReq() = default;
   explicit DecisionInquiryReq(TxnId t) : txn(t) {}
+  static constexpr const char* kRpcName = "DecisionInquiryReq";
 };
 enum class TxnDecision : uint8_t { kCommitted = 1, kAborted = 2 };
 struct DecisionResp {

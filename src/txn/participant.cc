@@ -34,6 +34,9 @@ Participant::Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOption
       options_(options),
       locks_(rpc->sim()),
       log_(store) {
+  // The network's tracer is wired before hosts are populated (Cluster ctor),
+  // so this picks it up; manual fixtures without one get a null no-op.
+  locks_.SetTracer(rpc_->network()->tracer(), rpc_->host_id());
   RegisterHandlers();
   rpc_->host()->AddCrashListener([this]() {
     locks_.Clear();
@@ -53,63 +56,68 @@ Participant::Participant(RpcEndpoint* rpc, StableStore* store, ParticipantOption
 }
 
 void Participant::RegisterHandlers() {
-  rpc_->Handle<LockReq, Ack>([this](HostId from, LockReq req) -> Task<Result<Ack>> {
-    Status st = co_await Lock(req.txn, std::move(req.key), req.mode);
-    if (!st.ok()) {
-      co_return st;
-    }
-    co_return Ack{};
-  });
-  rpc_->Handle<TxnReadReq, TxnReadResp>(
-      [this](HostId from, TxnReadReq req) -> Task<Result<TxnReadResp>> {
-        Result<std::string> value = co_await TxnRead(req.txn, std::move(req.key));
+  rpc_->HandleTraced<LockReq, Ack>(
+      [this](HostId from, LockReq req, TraceContext ctx) -> Task<Result<Ack>> {
+        Status st = co_await Lock(req.txn, std::move(req.key), req.mode, ctx);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return Ack{};
+      });
+  rpc_->HandleTraced<TxnReadReq, TxnReadResp>(
+      [this](HostId from, TxnReadReq req, TraceContext ctx) -> Task<Result<TxnReadResp>> {
+        Result<std::string> value = co_await TxnRead(req.txn, std::move(req.key), ctx);
         if (!value.ok()) {
           co_return value.status();
         }
         co_return TxnReadResp{std::move(value.value())};
       });
-  rpc_->Handle<PrepareReq, Ack>([this](HostId from, PrepareReq req) -> Task<Result<Ack>> {
-    Status st = co_await Prepare(req.txn, std::move(req.writes));
-    if (!st.ok()) {
-      co_return st;
-    }
-    co_return Ack{};
-  });
-  rpc_->Handle<CommitReq, Ack>([this](HostId from, CommitReq req) -> Task<Result<Ack>> {
-    Status st = co_await Commit(req.txn);
-    if (!st.ok()) {
-      co_return st;
-    }
-    co_return Ack{};
-  });
-  rpc_->Handle<AbortReq, Ack>([this](HostId from, AbortReq req) -> Task<Result<Ack>> {
-    Status st = co_await Abort(req.txn);
-    if (!st.ok()) {
-      co_return st;
-    }
-    co_return Ack{};
-  });
+  rpc_->HandleTraced<PrepareReq, Ack>(
+      [this](HostId from, PrepareReq req, TraceContext ctx) -> Task<Result<Ack>> {
+        Status st = co_await Prepare(req.txn, std::move(req.writes), ctx);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return Ack{};
+      });
+  rpc_->HandleTraced<CommitReq, Ack>(
+      [this](HostId from, CommitReq req, TraceContext ctx) -> Task<Result<Ack>> {
+        Status st = co_await Commit(req.txn, ctx);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return Ack{};
+      });
+  rpc_->HandleTraced<AbortReq, Ack>(
+      [this](HostId from, AbortReq req, TraceContext ctx) -> Task<Result<Ack>> {
+        Status st = co_await Abort(req.txn, ctx);
+        if (!st.ok()) {
+          co_return st;
+        }
+        co_return Ack{};
+      });
 }
 
 Result<std::string> Participant::PeekCommitted(const std::string& key) const {
   return store_->ReadCommitted(DataKey(key));
 }
 
-Task<Status> Participant::Lock(TxnId txn, std::string key, LockMode mode) {
-  return locks_.Acquire(txn, DataKey(key), mode, options_.lock_wait_timeout);
+Task<Status> Participant::Lock(TxnId txn, std::string key, LockMode mode, TraceContext ctx) {
+  return locks_.Acquire(txn, DataKey(key), mode, options_.lock_wait_timeout, ctx);
 }
 
-Task<Result<std::string>> Participant::TxnRead(TxnId txn, std::string key) {
+Task<Result<std::string>> Participant::TxnRead(TxnId txn, std::string key, TraceContext ctx) {
   const std::string data_key = DataKey(key);
   Status st = co_await locks_.Acquire(txn, data_key, LockMode::kShared,
-                                      options_.lock_wait_timeout);
+                                      options_.lock_wait_timeout, ctx);
   if (!st.ok()) {
     co_return st;
   }
-  co_return co_await store_->Read(data_key);
+  co_return co_await store_->Read(data_key, ctx);
 }
 
-Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes) {
+Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes,
+                                  TraceContext ctx) {
   // The client must already hold exclusive locks on every key it intends to
   // write; a crash since then cleared them, in which case serializability is
   // no longer guaranteed and we must vote no.
@@ -123,7 +131,7 @@ Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes) {
   record.txn = txn;
   record.state = TxnRecordState::kPrepared;
   record.writes = std::move(writes);
-  Status st = co_await log_.Put(record);
+  Status st = co_await log_.Put(record, ctx);
   if (!st.ok()) {
     ++stats_.prepares_refused;
     co_return st;
@@ -139,7 +147,7 @@ Task<Status> Participant::Prepare(TxnId txn, std::vector<WriteIntent> writes) {
   co_return Status::Ok();
 }
 
-Task<Status> Participant::Commit(TxnId txn) {
+Task<Status> Participant::Commit(TxnId txn, TraceContext ctx) {
   Result<TxnRecord> record = log_.Lookup(txn);
   if (!record.ok()) {
     // Record already applied and garbage-collected (duplicate commit), or
@@ -151,12 +159,12 @@ Task<Status> Participant::Commit(TxnId txn) {
   // behind this transaction's short apply/release tail instead of dying.
   committing_.insert(txn);
   record.value().state = TxnRecordState::kCommitted;
-  Status st = co_await log_.Put(record.value());
+  Status st = co_await log_.Put(record.value(), ctx);
   if (!st.ok()) {
     committing_.erase(txn);
     co_return st;
   }
-  st = co_await ApplyCommitted(std::move(record.value()));
+  st = co_await ApplyCommitted(std::move(record.value()), ctx);
   committing_.erase(txn);
   if (!st.ok()) {
     co_return st;
@@ -170,9 +178,9 @@ Task<Status> Participant::Commit(TxnId txn) {
   co_return Status::Ok();
 }
 
-Task<Status> Participant::Abort(TxnId txn) {
+Task<Status> Participant::Abort(TxnId txn, TraceContext ctx) {
   if (log_.Lookup(txn).ok()) {
-    Status st = co_await log_.Remove(txn);
+    Status st = co_await log_.Remove(txn, ctx);
     if (!st.ok()) {
       co_return st;
     }
@@ -186,7 +194,7 @@ Task<Status> Participant::Abort(TxnId txn) {
   co_return Status::Ok();
 }
 
-Task<Status> Participant::ApplyCommitted(TxnRecord record) {
+Task<Status> Participant::ApplyCommitted(TxnRecord record, TraceContext ctx) {
   // All of the transaction's pages install under one group-committed flush
   // (one latency charge) — and the batch is all-or-nothing across a crash,
   // so recovery re-applies from the intact committed record either way.
@@ -195,11 +203,11 @@ Task<Status> Participant::ApplyCommitted(TxnRecord record) {
   for (const WriteIntent& w : record.writes) {
     entries.emplace_back(DataKey(w.key), w.value.str());
   }
-  Status st = co_await store_->WriteBatch(std::move(entries));
+  Status st = co_await store_->WriteBatch(std::move(entries), ctx);
   if (!st.ok()) {
     co_return st;  // crash mid-apply; recovery will re-apply
   }
-  co_return co_await log_.Remove(record.txn);
+  co_return co_await log_.Remove(record.txn, ctx);
 }
 
 Task<void> Participant::Recover() {

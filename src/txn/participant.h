@@ -84,12 +84,16 @@ class Participant {
   Result<std::string> PeekCommitted(const std::string& key) const;
 
   // Local (same-host) transactional operations, used when a client or a
-  // suite component is co-resident with the representative.
-  Task<Result<std::string>> TxnRead(TxnId txn, std::string key);
-  Task<Status> Lock(TxnId txn, std::string key, LockMode mode);
-  Task<Status> Prepare(TxnId txn, std::vector<WriteIntent> writes);
-  Task<Status> Commit(TxnId txn);
-  Task<Status> Abort(TxnId txn);
+  // suite component is co-resident with the representative. A valid `ctx`
+  // parents the lock-wait and disk child spans this work records.
+  Task<Result<std::string>> TxnRead(TxnId txn, std::string key,
+                                    TraceContext ctx = TraceContext());
+  Task<Status> Lock(TxnId txn, std::string key, LockMode mode,
+                    TraceContext ctx = TraceContext());
+  Task<Status> Prepare(TxnId txn, std::vector<WriteIntent> writes,
+                       TraceContext ctx = TraceContext());
+  Task<Status> Commit(TxnId txn, TraceContext ctx = TraceContext());
+  Task<Status> Abort(TxnId txn, TraceContext ctx = TraceContext());
 
  private:
   void RegisterHandlers();
@@ -97,7 +101,7 @@ class Participant {
 
   // Applies a committed record's intents to the data pages (one
   // group-committed batch), then GCs it.
-  Task<Status> ApplyCommitted(TxnRecord record);
+  Task<Status> ApplyCommitted(TxnRecord record, TraceContext ctx = TraceContext());
   // Resolves one in-doubt prepared record by querying its coordinator.
   Task<void> ResolveInDoubt(TxnRecord record);
   // Watchdog armed at prepare time: if the transaction is still undecided

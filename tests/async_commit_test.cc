@@ -12,6 +12,7 @@
 
 #include "src/txn/coordinator.h"
 #include "src/txn/participant.h"
+#include "src/trace/trace.h"
 
 namespace wvote {
 namespace {
@@ -25,8 +26,11 @@ struct Node {
 
 class AsyncCommitTest : public ::testing::Test {
  protected:
-  AsyncCommitTest() : sim_(1), net_(&sim_) {
+  AsyncCommitTest() : sim_(1), net_(&sim_), trace_log_(&sim_, 256) {
     net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(5)));
+    // Background phase-2 work records kPhase2Completed breadcrumbs here;
+    // the causality tests below assert on them by owning txn id.
+    net_.SetTraceLog(&trace_log_);
     for (int i = 0; i < 3; ++i) {
       auto node = std::make_unique<Node>();
       node->host = net_.AddHost("p" + std::to_string(i));
@@ -91,6 +95,7 @@ class AsyncCommitTest : public ::testing::Test {
 
   Simulator sim_;
   Network net_;
+  TraceLog trace_log_;
   std::vector<std::unique_ptr<Node>> nodes_;
   Host* client_host_ = nullptr;
   std::unique_ptr<RpcEndpoint> client_rpc_;
@@ -115,12 +120,22 @@ TEST_F(AsyncCommitTest, ClientAckPrecedesPhase2Delivery) {
   EXPECT_EQ(CommittedAt(0, "x"), "<NOT_FOUND>");
   EXPECT_EQ(coordinator_->stats().async_phase2_spawned, 1u);
   EXPECT_EQ(coordinator_->stats().async_phase2_completed, 0u);
+  // Causality, not just counters: at ack time the background fan-out has
+  // recorded no completion event yet.
+  EXPECT_EQ(trace_log_.CountOf(TraceKind::kPhase2Completed), 0u);
 
   // Draining the background fan-out installs the value everywhere.
   sim_.RunFor(Duration::Seconds(2));
   EXPECT_EQ(CommittedAt(0, "x"), "v");
   EXPECT_EQ(coordinator_->stats().async_phase2_completed, 1u);
   EXPECT_EQ(P(0).locks().num_locked_keys(), 0u);
+  // ... and afterwards exactly one completion event names the owning
+  // transaction, attributed to the coordinator host.
+  std::vector<TraceEvent> done = trace_log_.OfKind(TraceKind::kPhase2Completed);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_NE(done[0].detail.find(txn.ToString()), std::string::npos) << done[0].detail;
+  EXPECT_NE(done[0].detail.find("fanout"), std::string::npos);
+  EXPECT_EQ(done[0].host, client_host_->id());
 }
 
 TEST_F(AsyncCommitTest, SyncModePaysTheThirdRoundTrip) {
@@ -207,6 +222,41 @@ TEST_F(AsyncCommitTest, ParticipantDownDuringPhase2ConvergesOnRestart) {
   sim_.RunFor(Duration::Seconds(60));
   EXPECT_EQ(CommittedAt(1, "x"), "v");
   EXPECT_EQ(P(1).locks().num_locked_keys(), 0u);
+
+  // The 2s outage is shorter than the fan-out's bounded retries, so the
+  // fan-out itself converged; its completion breadcrumb names the txn.
+  bool fanout_done = false;
+  for (const TraceEvent& ev : trace_log_.OfKind(TraceKind::kPhase2Completed)) {
+    fanout_done |= ev.detail.find(txn.ToString()) != std::string::npos &&
+                   ev.detail.find("fanout") != std::string::npos;
+  }
+  EXPECT_TRUE(fanout_done);
+}
+
+TEST_F(AsyncCommitTest, RetrierRecordsCompletionForTheOwningTxn) {
+  // Keep the participant down past the fan-out's bounded retries (3 x 5s
+  // rpc timeout), so the coordinator hands it to a background retrier; the
+  // retrier's eventual delivery must leave a breadcrumb naming the owning
+  // transaction and the participant it converged.
+  TxnId txn = coordinator_->Begin();
+  ASSERT_TRUE(LockAt(0, txn, "x").ok());
+  std::map<HostId, std::vector<WriteIntent>> writes;
+  writes[Hid(0)] = {WriteIntent("x", "v")};
+  auto out = SpawnCommit(txn, std::move(writes));
+  sim_.Schedule(Duration::Millis(15), [this] { nodes_[0]->host->Crash(); });
+  sim_.Schedule(Duration::Seconds(20), [this] { nodes_[0]->host->Restart(); });
+  sim_.RunFor(Duration::Seconds(60));
+  ASSERT_TRUE(out->has_value());
+  EXPECT_TRUE((*out)->ok()) << "decision was durable before the crash";
+  EXPECT_EQ(CommittedAt(0, "x"), "v");
+
+  bool retrier_done = false;
+  for (const TraceEvent& ev : trace_log_.OfKind(TraceKind::kPhase2Completed)) {
+    retrier_done |= ev.detail.find(txn.ToString()) != std::string::npos &&
+                    ev.detail.find("retrier participant=" +
+                                   std::to_string(Hid(0))) != std::string::npos;
+  }
+  EXPECT_TRUE(retrier_done);
 }
 
 TEST_F(AsyncCommitTest, AckedWritesAreNeverLostOrReorderedUnderFaults) {

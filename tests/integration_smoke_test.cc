@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "src/core/cluster.h"
 
 namespace wvote {
@@ -110,6 +116,87 @@ TEST_F(SmokeTest, MajorityCrashBlocksWrites) {
   SuiteClient* impatient = cluster_->AddClient("client-2", config_, fast);
   Status st = cluster_->RunTask(impatient->WriteOnce("should fail", /*retries=*/1));
   EXPECT_FALSE(st.ok());
+}
+
+TEST_F(SmokeTest, EveryCommittedWriteProducesACompleteSpanTree) {
+  cluster_->tracer().Enable(true);
+  const int kWrites = 3;
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(cluster_->RunTask(client_->WriteOnce("w" + std::to_string(i))).ok());
+  }
+  cluster_->sim().RunFor(Duration::Seconds(1));  // drain the async phase 2
+
+  std::vector<Span> spans = cluster_->tracer().Snapshot();
+  std::map<uint64_t, const Span*> by_id;
+  std::map<uint64_t, std::vector<const Span*>> children;
+  std::vector<const Span*> roots;
+  for (const Span& s : spans) {
+    by_id[s.span_id] = &s;
+    children[s.parent_id].push_back(&s);
+    if (s.parent_id == 0 && s.name == "client.write") {
+      roots.push_back(&s);
+    }
+  }
+  ASSERT_EQ(roots.size(), static_cast<size_t>(kWrites));
+
+  for (const Span* root : roots) {
+    EXPECT_FALSE(root->open);
+    // Healthy cluster: exactly one attempt per write.
+    ASSERT_EQ(children[root->span_id].size(), 1u);
+    const Span* txn = children[root->span_id][0];
+    ASSERT_EQ(txn->name, "client.txn");
+
+    // The attempt decomposes into the protocol phases, each exactly once.
+    std::map<std::string, int> phases;
+    int64_t phase_micros = 0;
+    for (const Span* c : children[txn->span_id]) {
+      if (c->name.rfind("phase.", 0) == 0) {
+        ++phases[c->name];
+        phase_micros += c->duration().ToMicros();
+      }
+    }
+    EXPECT_EQ(phases["phase.gather"], 1);
+    EXPECT_EQ(phases["phase.prepare"], 1);
+    EXPECT_EQ(phases["phase.disk"], 1);
+    EXPECT_EQ(phases["phase.commit_ack"], 1);
+
+    // Per-phase latency attribution must account for the whole operation:
+    // simulated time only advances at awaits, and the phases ARE the
+    // attempt's awaits, so their durations tile the attempt span. Allow 5%
+    // for any bookkeeping gaps.
+    const int64_t txn_micros = txn->duration().ToMicros();
+    ASSERT_GT(txn_micros, 0);
+    EXPECT_LE(std::abs(phase_micros - txn_micros), txn_micros / 20)
+        << "phases sum to " << phase_micros << "us, attempt took " << txn_micros
+        << "us:\n"
+        << cluster_->tracer().DumpTree(root->trace_id);
+
+    // Every RPC issued on behalf of the write shows up in the tree: walk the
+    // whole trace, count client-side rpc.* spans, and require each to have
+    // its server-side handle.* child.
+    int rpcs = 0;
+    for (const Span& s : spans) {
+      if (s.trace_id != root->trace_id || s.name.rfind("rpc.", 0) != 0) {
+        continue;
+      }
+      ++rpcs;
+      bool handled = false;
+      for (const Span* c : children[s.span_id]) {
+        handled |= c->name.rfind("handle.", 0) == 0;
+      }
+      EXPECT_TRUE(handled) << s.name << " has no server-side handle span";
+    }
+    // At least: two version probes (w=2), two prepares, two commits.
+    EXPECT_GE(rpcs, 6) << cluster_->tracer().DumpTree(root->trace_id);
+
+    // The background fan-out is causally attached to the attempt, not to a
+    // fresh root.
+    bool has_background = false;
+    for (const Span* c : children[txn->span_id]) {
+      has_background |= c->name == "phase2.background";
+    }
+    EXPECT_TRUE(has_background);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,159 @@
+// chaos_cli: run, replay, and minimize chaos schedules from the command line.
+//
+//   chaos_cli templates
+//       List the built-in schedule templates and suite configurations.
+//
+//   chaos_cli run [--seed=N] [--template=NAME] [--suite=NAME] [--unsafe]
+//                 [--clients=N] [--ops=N] [--minimize] [--out=FILE]
+//       One adversarial run. Prints the checker report; with --minimize a
+//       failing schedule is shrunk before the artifact is printed/saved.
+//
+//   chaos_cli replay FILE
+//       Re-run the exact schedule dumped in FILE (as produced by `run
+//       --out=...` or by bench_chaos on failure) and re-check the history.
+//       Deterministic: a failure replays bit-for-bit.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/chaos/runner.h"
+
+namespace {
+
+using namespace wvote;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_cli templates\n"
+               "       chaos_cli run [--seed=N] [--template=NAME] [--suite=NAME] [--unsafe]\n"
+               "                     [--clients=N] [--ops=N] [--minimize] [--out=FILE]\n"
+               "       chaos_cli replay FILE\n");
+  return 2;
+}
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+ChaosSuiteSpec FindSuite(const std::string& name) {
+  for (const ChaosSuiteSpec& s : DefaultSuiteSpecs()) {
+    if (s.name == name) {
+      return s;
+    }
+  }
+  if (name == NegativeControlSuite().name) {
+    return NegativeControlSuite();
+  }
+  std::fprintf(stderr, "unknown suite '%s', using r2w2x3\n", name.c_str());
+  return DefaultSuiteSpecs()[1];
+}
+
+int RunCommand(int argc, char** argv) {
+  ChaosRunSpec spec;
+  spec.suite = DefaultSuiteSpecs()[1];  // r2w2x3
+  bool minimize = false;
+  std::string out_file;
+  for (int i = 0; i < argc; ++i) {
+    std::string v;
+    if (FlagValue(argv[i], "--seed", &v)) {
+      spec.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (FlagValue(argv[i], "--template", &v)) {
+      spec.schedule_template = v;
+    } else if (FlagValue(argv[i], "--suite", &v)) {
+      spec.suite = FindSuite(v);
+    } else if (FlagValue(argv[i], "--clients", &v)) {
+      spec.clients = std::atoi(v.c_str());
+    } else if (FlagValue(argv[i], "--ops", &v)) {
+      spec.ops_per_client = std::atoi(v.c_str());
+    } else if (std::strcmp(argv[i], "--unsafe") == 0) {
+      spec.suite = NegativeControlSuite();
+    } else if (std::strcmp(argv[i], "--minimize") == 0) {
+      minimize = true;
+    } else if (FlagValue(argv[i], "--out", &v)) {
+      out_file = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage();
+    }
+  }
+
+  ChaosRunOutcome outcome = RunChaos(spec);
+  std::printf("seed=%llu template=%s suite=%s: %llu nemesis events applied\n",
+              static_cast<unsigned long long>(spec.seed), spec.schedule_template.c_str(),
+              spec.suite.name.c_str(),
+              static_cast<unsigned long long>(outcome.nemesis_events_applied));
+  FaultSchedule schedule = outcome.schedule;
+  if (!outcome.check.ok() && minimize) {
+    std::printf("minimizing %zu-event schedule...\n", schedule.events.size());
+    schedule = MinimizeSchedule(spec, schedule);
+    outcome = RunChaosWithSchedule(spec, schedule);
+    std::printf("minimized to %zu events\n", schedule.events.size());
+  }
+  std::fputs(outcome.check.Report(schedule).c_str(), stdout);
+  if (!out_file.empty()) {
+    std::ofstream f(out_file);
+    f << DumpArtifact(spec, schedule, outcome);
+    std::printf("artifact written to %s\n", out_file.c_str());
+  }
+  return outcome.check.ok() ? 0 : 1;
+}
+
+int ReplayCommand(const char* path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 2;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  Result<ChaosReplayFile> replay = ParseArtifact(buf.str());
+  if (!replay.ok()) {
+    std::fprintf(stderr, "parse error: %s\n", replay.status().ToString().c_str());
+    return 2;
+  }
+  const ChaosRunSpec& spec = replay.value().spec;
+  std::printf("replaying seed=%llu suite=%s, %zu-event schedule '%s'\n",
+              static_cast<unsigned long long>(spec.seed), spec.suite.name.c_str(),
+              replay.value().schedule.events.size(), replay.value().schedule.name.c_str());
+  ChaosRunOutcome outcome = RunChaosWithSchedule(spec, replay.value().schedule);
+  std::fputs(outcome.check.Report(replay.value().schedule).c_str(), stdout);
+  return outcome.check.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "templates") == 0) {
+    std::printf("schedule templates:\n");
+    for (const std::string& name : ScheduleTemplateNames()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    std::printf("suites:\n");
+    for (const ChaosSuiteSpec& s : DefaultSuiteSpecs()) {
+      std::printf("  %s (r=%d w=%d reps=%zu)\n", s.name.c_str(), s.read_quorum,
+                  s.write_quorum, s.votes.size());
+    }
+    const ChaosSuiteSpec neg = NegativeControlSuite();
+    std::printf("  %s (r=%d w=%d reps=%zu, NEGATIVE CONTROL)\n", neg.name.c_str(),
+                neg.read_quorum, neg.write_quorum, neg.votes.size());
+    return 0;
+  }
+  if (std::strcmp(argv[1], "run") == 0) {
+    return RunCommand(argc - 2, argv + 2);
+  }
+  if (std::strcmp(argv[1], "replay") == 0 && argc >= 3) {
+    return ReplayCommand(argv[2]);
+  }
+  return Usage();
+}

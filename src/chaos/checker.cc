@@ -1,0 +1,182 @@
+#include "src/chaos/checker.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace wvote {
+namespace {
+
+class ViolationSink {
+ public:
+  ViolationSink(CheckResult* result, size_t max) : result_(result), max_(max) {}
+
+  void Add(const char* rule, std::string description, std::vector<uint64_t> op_ids) {
+    if (result_->violations.size() >= max_) {
+      result_->truncated = true;
+      return;
+    }
+    result_->violations.push_back(
+        ChaosViolation{rule, std::move(description), std::move(op_ids)});
+  }
+
+ private:
+  CheckResult* result_;
+  size_t max_;
+};
+
+std::string Pair(const ChaosOp& a, const ChaosOp& b) {
+  return "\n    " + a.ToString() + "\n    " + b.ToString();
+}
+
+void CheckSuite(const std::vector<const ChaosOp*>& ops, const std::string& initial,
+                ViolationSink& sink) {
+  std::vector<const ChaosOp*> acked_writes;
+  std::vector<const ChaosOp*> ok_reads;
+  for (const ChaosOp* op : ops) {
+    if (!op->ok) {
+      continue;
+    }
+    (op->type == ChaosOpType::kWrite ? acked_writes : ok_reads).push_back(op);
+  }
+
+  // W-UNIQ: acked writes commit at pairwise distinct versions.
+  std::map<Version, const ChaosOp*> version_to_write;
+  for (const ChaosOp* w : acked_writes) {
+    auto [it, inserted] = version_to_write.emplace(w->version, w);
+    if (!inserted) {
+      sink.Add("write-version-unique",
+               "two acknowledged writes committed at version " +
+                   std::to_string(w->version) + Pair(*it->second, *w),
+               {it->second->id, w->id});
+    }
+  }
+
+  // W-ORDER: real-time order of acked writes must agree with version order.
+  for (const ChaosOp* w1 : acked_writes) {
+    for (const ChaosOp* w2 : acked_writes) {
+      if (w1->response < w2->invoke && w1->version >= w2->version) {
+        sink.Add("write-order",
+                 "write acked at v" + std::to_string(w1->version) +
+                     " precedes a write that committed at v" +
+                     std::to_string(w2->version) + Pair(*w1, *w2),
+                 {w1->id, w2->id});
+      }
+    }
+  }
+
+  // Legal payloads for R-VALUE: every write attempt's payload (ambiguous
+  // attempts included — their effects are permitted, not required).
+  std::set<std::string> attempted_payloads;
+  for (const ChaosOp* op : ops) {
+    if (op->type == ChaosOpType::kWrite) {
+      attempted_payloads.insert(op->value);
+    }
+  }
+
+  // PAYLOAD: one payload, one version — across acked writes and ok reads.
+  std::map<std::string, std::pair<Version, const ChaosOp*>> payload_version;
+  std::vector<const ChaosOp*> observers = acked_writes;
+  observers.insert(observers.end(), ok_reads.begin(), ok_reads.end());
+  for (const ChaosOp* op : observers) {
+    auto [it, inserted] = payload_version.emplace(op->value, std::make_pair(op->version, op));
+    if (!inserted && it->second.first != op->version) {
+      sink.Add("payload-version-unique",
+               "payload observed at two versions (v" + std::to_string(it->second.first) +
+                   " and v" + std::to_string(op->version) + ")" +
+                   Pair(*it->second.second, *op),
+               {it->second.second->id, op->id});
+    }
+  }
+
+  for (const ChaosOp* r : ok_reads) {
+    // R-VALUE: the observed value must be explainable.
+    auto w = version_to_write.find(r->version);
+    if (w != version_to_write.end()) {
+      if (w->second->value != r->value) {
+        sink.Add("read-value",
+                 "read at v" + std::to_string(r->version) +
+                     " returned a value different from the acked write at that version" +
+                     Pair(*w->second, *r),
+                 {w->second->id, r->id});
+      }
+    } else if (r->version == 1) {
+      if (r->value != initial) {
+        sink.Add("read-value",
+                 "read at v1 returned neither the initial contents nor any write:\n    " +
+                     r->ToString(),
+                 {r->id});
+      }
+    } else if (attempted_payloads.find(r->value) == attempted_payloads.end()) {
+      sink.Add("read-value",
+               "read observed a fabricated value (no write attempt produced it):\n    " +
+                   r->ToString(),
+               {r->id});
+    }
+
+    // R-MONO and read/read realtime order.
+    for (const ChaosOp* r2 : ok_reads) {
+      if (r->response < r2->invoke && r->version > r2->version) {
+        sink.Add("read-monotonic",
+                 "later read observed an older version" + Pair(*r, *r2), {r->id, r2->id});
+      }
+    }
+
+    for (const ChaosOp* w2 : acked_writes) {
+      // DURABILITY: acked writes are visible to every later read.
+      if (r->invoke > w2->response && r->version < w2->version) {
+        sink.Add("durability",
+                 "read invoked after a write's ack observed an older version (lost ack)" +
+                     Pair(*w2, *r),
+                 {w2->id, r->id});
+      }
+      // RW-ORDER: no reads from the future.
+      if (r->response < w2->invoke && r->version >= w2->version) {
+        sink.Add("read-write-order",
+                 "read observed a version not yet written" + Pair(*r, *w2),
+                 {r->id, w2->id});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult CheckHistory(const std::vector<ChaosOp>& ops, const std::string& initial_contents,
+                         size_t max_violations) {
+  CheckResult result;
+  ViolationSink sink(&result, max_violations);
+
+  std::map<std::string, std::vector<const ChaosOp*>> by_suite;
+  for (const ChaosOp& op : ops) {
+    by_suite[op.suite].push_back(&op);
+    if (op.ok) {
+      ++(op.type == ChaosOpType::kRead ? result.ok_reads : result.ok_writes);
+    } else {
+      ++result.ambiguous_ops;
+    }
+  }
+  for (const auto& [suite, suite_ops] : by_suite) {
+    CheckSuite(suite_ops, initial_contents, sink);
+  }
+  return result;
+}
+
+std::string CheckResult::Report(const FaultSchedule& schedule) const {
+  std::string out;
+  if (ok()) {
+    out += "history OK: " + std::to_string(ok_reads) + " ok reads, " +
+           std::to_string(ok_writes) + " ok writes, " + std::to_string(ambiguous_ops) +
+           " ambiguous ops\n";
+    return out;
+  }
+  out += "CONSISTENCY VIOLATIONS (" + std::to_string(violations.size()) +
+         (truncated ? "+, truncated" : "") + "):\n";
+  for (const ChaosViolation& v : violations) {
+    out += "  [" + v.rule + "] " + v.description + "\n";
+  }
+  out += "active fault schedule:\n" + schedule.ToString();
+  return out;
+}
+
+}  // namespace wvote

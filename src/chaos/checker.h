@@ -1,0 +1,67 @@
+// History-based consistency checker for the weighted-voting spec.
+//
+// Gifford's guarantee under r + w > V and 2w > V, restated over a recorded
+// history (per suite):
+//
+//   W-UNIQ      acked writes commit at pairwise distinct versions;
+//   W-ORDER     writes are totally ordered by version, consistent with real
+//               time: a write acked before another is invoked has the
+//               smaller version;
+//   R-MONO      reads are version-monotonic in real time;
+//   DURABILITY  an acknowledged write is never lost: a read invoked after
+//               the ack observes at least that version;
+//   RW-ORDER    a read never observes a version from the future (a write
+//               invoked after the read responded);
+//   R-VALUE     an observed value is never fabricated: it matches the acked
+//               write at that version, the initial contents (version 1), or
+//               the payload of some ambiguous write attempt;
+//   PAYLOAD     a payload appears at exactly one version (payloads are
+//               unique per attempt, so one appearing at two versions means
+//               a double-applied or cross-wired write).
+//
+// Ambiguous ops (client saw an error — the op may or may not have taken
+// effect) contribute no obligations, only permissions: their payloads are
+// legal read results but never required ones. The checker is pure: it sees
+// only the history, so it can be unit-tested on synthetic histories and
+// can never be fooled by implementation internals.
+
+#ifndef WVOTE_SRC_CHAOS_CHECKER_H_
+#define WVOTE_SRC_CHAOS_CHECKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/chaos/history.h"
+#include "src/chaos/schedule.h"
+
+namespace wvote {
+
+struct ChaosViolation {
+  std::string rule;         // e.g. "durability"
+  std::string description;  // human-readable, with both ops inlined
+  std::vector<uint64_t> op_ids;
+};
+
+struct CheckResult {
+  std::vector<ChaosViolation> violations;
+  uint64_t ok_reads = 0;
+  uint64_t ok_writes = 0;
+  uint64_t ambiguous_ops = 0;
+  bool truncated = false;  // more violations existed than were kept
+
+  bool ok() const { return violations.empty(); }
+
+  // Counterexample printout: every kept violation with its ops, plus the
+  // fault schedule that was active during the run.
+  std::string Report(const FaultSchedule& schedule) const;
+};
+
+// Checks `ops` against the spec above. `initial_contents` is what version 1
+// (the bootstrap install) holds. Keeps at most `max_violations`.
+CheckResult CheckHistory(const std::vector<ChaosOp>& ops, const std::string& initial_contents,
+                         size_t max_violations = 25);
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CHAOS_CHECKER_H_

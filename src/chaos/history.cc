@@ -1,0 +1,61 @@
+#include "src/chaos/history.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace wvote {
+
+std::string ChaosOp::ToString() const {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "op %" PRIu64 " client=%d %s [%.3fms, %.3fms] %s v=%" PRIu64
+                " value='%s' status=%s",
+                id, client, type == ChaosOpType::kRead ? "read " : "write",
+                invoke.ToMicros() / 1000.0, done ? response.ToMicros() / 1000.0 : -1.0,
+                !done ? "pending" : (ok ? "ok" : "ambiguous"), version,
+                value.size() > 40 ? (value.substr(0, 40) + "...").c_str() : value.c_str(),
+                status.c_str());
+  return buf;
+}
+
+uint64_t HistoryRecorder::Invoke(int client, const std::string& suite, ChaosOpType type,
+                                 std::string value) {
+  ChaosOp op;
+  op.id = ops_.size() + 1;
+  op.client = client;
+  op.suite = suite;
+  op.type = type;
+  op.invoke = sim_->Now();
+  op.value = std::move(value);
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+void HistoryRecorder::Complete(uint64_t id, const Status& st, Version version,
+                               std::string value) {
+  WVOTE_CHECK_MSG(id >= 1 && id <= ops_.size(), "unknown history op id");
+  ChaosOp& op = ops_[id - 1];
+  WVOTE_CHECK_MSG(!op.done, "history op completed twice");
+  op.done = true;
+  op.response = sim_->Now();
+  op.ok = st.ok();
+  op.status = st.ToString();
+  op.version = version;
+  if (op.type == ChaosOpType::kRead) {
+    op.value = std::move(value);
+  }
+}
+
+std::string HistoryRecorder::Dump() const {
+  std::string out;
+  for (const ChaosOp& op : ops_) {
+    out += op.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace wvote

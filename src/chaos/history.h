@@ -1,0 +1,73 @@
+// Jepsen-style operation history.
+//
+// Every client operation attempt is logged twice: Invoke() when the client
+// issues it and Complete() when the response (or final error) arrives. An
+// op that completed with ok=true carries the version it observed (reads) or
+// installed (writes); an op that did not complete ok is *ambiguous* — it
+// may or may not have taken effect (a commit whose ack was lost can still
+// be durable), so the checker treats its effects as permitted but never
+// required. Each write attempt uses a globally unique payload, which is
+// what lets the checker map an observed value back to the exact attempt
+// that produced it.
+
+#ifndef WVOTE_SRC_CHAOS_HISTORY_H_
+#define WVOTE_SRC_CHAOS_HISTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/core/types.h"
+#include "src/sim/simulator.h"
+
+namespace wvote {
+
+enum class ChaosOpType : uint8_t { kRead, kWrite };
+
+struct ChaosOp {
+  uint64_t id = 0;  // 1-based, in invocation order
+  int client = 0;   // -1 = the runner's final convergence read
+  std::string suite;
+  ChaosOpType type = ChaosOpType::kRead;
+  TimePoint invoke;
+  TimePoint response;
+  bool done = false;  // Complete() was called
+  bool ok = false;    // completed successfully
+  Version version = 0;   // read: observed; write: committed (when ok)
+  std::string value;     // read: contents observed; write: payload attempted
+  std::string status;    // final status string (for the counterexample dump)
+
+  // Not ok: the op may or may not have taken effect.
+  bool ambiguous() const { return !ok; }
+
+  std::string ToString() const;
+};
+
+class HistoryRecorder {
+ public:
+  explicit HistoryRecorder(Simulator* sim) : sim_(sim) {}
+
+  // Returns the op id to pass to Complete(). For writes, `value` is the
+  // attempt's (unique) payload; for reads it is empty until completion.
+  uint64_t Invoke(int client, const std::string& suite, ChaosOpType type,
+                  std::string value = "");
+
+  // `version`/`value` are meaningful when `st` is ok; for writes the value
+  // recorded at Invoke() time is kept.
+  void Complete(uint64_t id, const Status& st, Version version, std::string value = "");
+
+  const std::vector<ChaosOp>& ops() const { return ops_; }
+
+  // One line per op; part of the failure artifact.
+  std::string Dump() const;
+
+ private:
+  Simulator* sim_;
+  std::vector<ChaosOp> ops_;
+};
+
+}  // namespace wvote
+
+#endif  // WVOTE_SRC_CHAOS_HISTORY_H_

@@ -1,0 +1,100 @@
+#include "src/chaos/nemesis.h"
+
+#include <vector>
+
+namespace wvote {
+
+void Nemesis::Deploy() {
+  for (const FaultEvent& ev : schedule_.events) {
+    cluster_->sim().Schedule(ev.at, [this, ev]() { Apply(ev); });
+  }
+}
+
+void Nemesis::Apply(const FaultEvent& ev) {
+  Network& net = cluster_->net();
+  switch (ev.action) {
+    case FaultAction::kCrashRestart: {
+      Host* host = net.FindHost(ev.host);
+      if (host == nullptr) {
+        ++events_skipped_;
+        return;
+      }
+      if (host->up()) {
+        host->Crash();
+        ++stats_.crashes;
+        stats_.total_downtime += ev.duration;
+      }
+      Host* target = host;
+      cluster_->sim().Schedule(ev.duration, [target]() {
+        if (!target->up()) {
+          target->Restart();
+        }
+      });
+      break;
+    }
+    case FaultAction::kCrashOnTrace: {
+      Host* host = net.FindHost(ev.host);
+      if (host == nullptr) {
+        ++events_skipped_;
+        return;
+      }
+      ArmPhaseCrash(&cluster_->sim(), &cluster_->trace(), host, ev.trace_kind, ev.duration,
+                    &stats_);
+      break;
+    }
+    case FaultAction::kPartition: {
+      std::vector<std::vector<HostId>> groups;
+      for (const std::vector<std::string>& named : ev.groups) {
+        std::vector<HostId> group;
+        for (const std::string& name : named) {
+          Host* host = net.FindHost(name);
+          if (host != nullptr) {
+            group.push_back(host->id());
+          }
+        }
+        groups.push_back(std::move(group));
+      }
+      net.Partition(groups);
+      break;
+    }
+    case FaultAction::kHeal:
+      net.HealPartition();
+      break;
+    case FaultAction::kLinkKnobs: {
+      LinkKnobs knobs;
+      knobs.loss_probability = ev.p1;
+      knobs.dup_probability = ev.p2;
+      knobs.delay_spike_probability = ev.p3;
+      knobs.delay_spike = ev.spike;
+      net.SetAllLinkKnobs(knobs);
+      break;
+    }
+    case FaultAction::kStoreFaults: {
+      RepresentativeServer* rep = cluster_->representative(ev.host);
+      if (rep == nullptr) {
+        ++events_skipped_;
+        return;
+      }
+      // Preserve a pending one-shot tear; this event only moves the
+      // probabilistic write-failure knob.
+      StoreFaults faults = rep->store().faults();
+      faults.write_fail_probability = ev.p1;
+      rep->store().SetFaults(faults);
+      break;
+    }
+    case FaultAction::kStoreTearNextFlush: {
+      RepresentativeServer* rep = cluster_->representative(ev.host);
+      if (rep == nullptr) {
+        ++events_skipped_;
+        return;
+      }
+      StoreFaults faults = rep->store().faults();
+      faults.tear_next_flush = true;
+      rep->store().SetFaults(faults);
+      break;
+    }
+  }
+  ++events_applied_;
+}
+
+}  // namespace wvote

@@ -103,6 +103,10 @@ Task<void> SuiteTransaction::Abort() { return state_->client->DoAbort(state_); }
 
 bool SuiteTransaction::finished() const { return !state_ || state_->finished; }
 
+Version SuiteTransaction::committed_version() const {
+  return state_ ? state_->committed_version : 0;
+}
+
 // ---------------------------------------------------------------------------
 // SuiteClient
 // ---------------------------------------------------------------------------
@@ -586,6 +590,7 @@ Task<Status> SuiteClient::DoCommit(std::shared_ptr<SuiteTransaction::State> stat
                                                          std::move(read_only), state->trace);
     if (st.ok()) {
       ++stats_.commits;
+      state->committed_version = next;
       // The write quorum now holds `next`; remember that for future
       // fast-path targeting.
       for (const ProbeReply& r : gather.value().replies) {

@@ -113,6 +113,11 @@ class SuiteTransaction {
 
   bool finished() const;
 
+  // Version a successful write Commit() installed; 0 before that (and for
+  // read-only transactions). History recorders use it to tie the ack to a
+  // point in the suite's version order.
+  Version committed_version() const;
+
  private:
   friend class SuiteClient;
   friend class MultiSuiteTransaction;

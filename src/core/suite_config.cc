@@ -49,6 +49,10 @@ Status SuiteConfig::Validate() const {
     return InvalidArgumentError("write quorum " + std::to_string(write_quorum) +
                                 " out of range [1, " + std::to_string(v) + "]");
   }
+  if (allow_unsafe_quorums) {
+    // Chaos negative control: deploy anyway; the checker's job is to notice.
+    return Status::Ok();
+  }
   if (read_quorum + write_quorum <= v) {
     return InvalidArgumentError("r + w must exceed total votes (r=" +
                                 std::to_string(read_quorum) +

@@ -38,6 +38,12 @@ struct SuiteConfig {
   std::vector<RepresentativeInfo> representatives;
   int read_quorum = 0;   // r
   int write_quorum = 0;  // w
+  // Chaos negative controls only: Validate() skips the two intersection
+  // checks (r + w > V, 2w > V) so a deliberately broken configuration can be
+  // deployed and the consistency checker proven able to catch the resulting
+  // stale reads. Structural checks still apply. Deliberately NOT serialized:
+  // a prefix on the wire can never carry it.
+  bool allow_unsafe_quorums = false;
 
   int TotalVotes() const;
   int NumVotingReps() const;

@@ -29,6 +29,9 @@ struct SuiteTransaction::State {
   std::set<HostId> probed;
   std::optional<VersionedValue> read_result;
   std::optional<std::string> pending_write;
+  // Version installed by a successful write commit (0 until then). Chaos
+  // histories pair each acked write with the version it committed at.
+  Version committed_version = 0;
   // This attempt's "client.txn" span. Every phase recorded on behalf of the
   // transaction (gather, fetch, prepare, disk, commit-ack) parents here, so
   // the phases tile the attempt span exactly — sim time only advances at

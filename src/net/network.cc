@@ -17,6 +17,8 @@ void NetworkStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& l
   registry->RegisterCounter("net.network.dropped_dest_down", labels, &dropped_dest_down);
   registry->RegisterCounter("net.network.dropped_partition", labels, &dropped_partition);
   registry->RegisterCounter("net.network.dropped_loss", labels, &dropped_loss);
+  registry->RegisterCounter("net.network.duplicated", labels, &duplicated);
+  registry->RegisterCounter("net.network.delay_spikes", labels, &delay_spikes);
   registry->RegisterCounter("net.network.bytes_sent", labels, &bytes_sent);
   registry->AddResetHook([this]() { Reset(); });
 }
@@ -61,17 +63,41 @@ Host* Network::FindHost(const std::string& name) {
 }
 
 void Network::SetDefaultLink(LatencyModel latency, double loss_probability) {
-  default_link_ = Link{latency, loss_probability};
+  LinkKnobs knobs;
+  knobs.loss_probability = loss_probability;
+  SetDefaultLink(latency, knobs);
 }
 
 void Network::SetLink(HostId from, HostId to, LatencyModel latency, double loss_probability) {
-  link_overrides_[{from, to}] = Link{latency, loss_probability};
+  LinkKnobs knobs;
+  knobs.loss_probability = loss_probability;
+  SetLink(from, to, latency, knobs);
 }
 
 void Network::SetSymmetricLink(HostId a, HostId b, LatencyModel latency,
                                double loss_probability) {
   SetLink(a, b, latency, loss_probability);
   SetLink(b, a, latency, loss_probability);
+}
+
+void Network::SetDefaultLink(LatencyModel latency, LinkKnobs knobs) {
+  default_link_ = Link{latency, knobs};
+}
+
+void Network::SetLink(HostId from, HostId to, LatencyModel latency, LinkKnobs knobs) {
+  link_overrides_[{from, to}] = Link{latency, knobs};
+}
+
+void Network::SetSymmetricLink(HostId a, HostId b, LatencyModel latency, LinkKnobs knobs) {
+  SetLink(a, b, latency, knobs);
+  SetLink(b, a, latency, knobs);
+}
+
+void Network::SetAllLinkKnobs(LinkKnobs knobs) {
+  default_link_.knobs = knobs;
+  for (auto& [pair, link] : link_overrides_) {
+    link.knobs = knobs;
+  }
 }
 
 const Network::Link& Network::LinkFor(HostId from, HostId to) const {
@@ -132,7 +158,8 @@ void Network::Send(HostId from, HostId to, std::any payload, size_t approx_bytes
     return;
   }
   const Link& link = LinkFor(from, to);
-  if (link.loss_probability > 0.0 && sim_->rng().NextBernoulli(link.loss_probability)) {
+  if (link.knobs.loss_probability > 0.0 &&
+      sim_->rng().NextBernoulli(link.knobs.loss_probability)) {
     ++stats_.dropped_loss;
     if (trace_ != nullptr) {
       trace_->Record(from, TraceKind::kMessageDropped, "loss");
@@ -147,7 +174,30 @@ void Network::Send(HostId from, HostId to, std::any payload, size_t approx_bytes
   msg.approx_bytes = approx_bytes;
   msg.payload = std::move(payload);
 
-  const Duration delay = (from == to) ? Duration::Zero() : link.latency.Sample(sim_->rng());
+  if (from == to) {
+    // Loopback: no wire, no wire faults.
+    ScheduleDelivery(dst, std::move(msg), Duration::Zero());
+    return;
+  }
+
+  Duration delay = link.latency.Sample(sim_->rng());
+  const LinkKnobs& knobs = link.knobs;
+  if (knobs.delay_spike_probability > 0.0 &&
+      sim_->rng().NextBernoulli(knobs.delay_spike_probability)) {
+    ++stats_.delay_spikes;
+    delay += knobs.delay_spike;
+  }
+  if (knobs.dup_probability > 0.0 && sim_->rng().NextBernoulli(knobs.dup_probability)) {
+    // Deliver a second copy with its own latency sample; the copies race
+    // and may reorder, exactly as duplicated datagrams do.
+    ++stats_.duplicated;
+    Message copy = msg;
+    ScheduleDelivery(dst, std::move(copy), link.latency.Sample(sim_->rng()));
+  }
+  ScheduleDelivery(dst, std::move(msg), delay);
+}
+
+void Network::ScheduleDelivery(Host* dst, Message msg, Duration delay) {
   sim_->Schedule(delay, [this, dst, msg = std::move(msg)]() mutable {
     if (!dst->up()) {
       ++stats_.dropped_dest_down;

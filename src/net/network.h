@@ -40,12 +40,27 @@ struct NetworkStats {
   uint64_t dropped_dest_down = 0;
   uint64_t dropped_partition = 0;
   uint64_t dropped_loss = 0;
+  uint64_t duplicated = 0;    // messages delivered twice by a duplicating link
+  uint64_t delay_spikes = 0;  // deliveries that drew a latency spike
   uint64_t bytes_sent = 0;
 
   void Reset() { *this = NetworkStats{}; }
   // Registers every field as `net.network.*{labels}`; this struct must
   // outlive `registry`'s use of it.
   void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
+};
+
+// Per-link fault knobs beyond the latency model. Datagram networks drop,
+// duplicate, and delay; weighted voting must survive all three. A duplicate
+// is a second, independently delayed delivery of the same message (the RPC
+// layer must be idempotent against it); a delay spike adds a fixed penalty
+// to a delivery with the given probability (models bufferbloat / GC pauses
+// without touching the base latency model).
+struct LinkKnobs {
+  double loss_probability = 0.0;
+  double dup_probability = 0.0;
+  double delay_spike_probability = 0.0;
+  Duration delay_spike = Duration::Millis(50);
 };
 
 class Network {
@@ -66,6 +81,16 @@ class Network {
   void SetLink(HostId from, HostId to, LatencyModel latency, double loss_probability = 0.0);
   // Convenience: configures both directions.
   void SetSymmetricLink(HostId a, HostId b, LatencyModel latency, double loss_probability = 0.0);
+
+  // Full-knob overloads: latency plus loss/duplication/delay-spike behavior.
+  void SetDefaultLink(LatencyModel latency, LinkKnobs knobs);
+  void SetLink(HostId from, HostId to, LatencyModel latency, LinkKnobs knobs);
+  void SetSymmetricLink(HostId a, HostId b, LatencyModel latency, LinkKnobs knobs);
+  // Swaps the fault knobs on every link (default and overrides) while
+  // preserving each link's latency model; how the chaos nemesis flips
+  // network weather mid-run without knowing the topology.
+  void SetAllLinkKnobs(LinkKnobs knobs);
+  const LinkKnobs& default_link_knobs() const { return default_link_.knobs; }
 
   // Latency a sender would pay to reach `to` in expectation; used by quorum
   // selection to rank representatives by access cost.
@@ -102,10 +127,11 @@ class Network {
  private:
   struct Link {
     LatencyModel latency;
-    double loss_probability = 0.0;
+    LinkKnobs knobs;
   };
 
   const Link& LinkFor(HostId from, HostId to) const;
+  void ScheduleDelivery(Host* dst, Message msg, Duration delay);
 
   Simulator* sim_;
   std::vector<std::unique_ptr<Host>> hosts_;

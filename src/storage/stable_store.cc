@@ -22,6 +22,10 @@ void StableStoreStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("storage.group_commit_batches", labels, &group_commit_batches);
   registry->RegisterCounter("storage.group_commit_writes_coalesced", labels,
                             &group_commit_coalesced);
+  registry->RegisterCounter("storage.stable_store.injected_write_failures", labels,
+                            &injected_write_failures);
+  registry->RegisterCounter("storage.stable_store.injected_torn_flushes", labels,
+                            &injected_torn_flushes);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -85,6 +89,13 @@ Task<Status> StableStore::WriteBatch(
   if (!host_->up()) {
     co_return AbortedError("host down");
   }
+  if (faults_.write_fail_probability > 0.0 &&
+      host_->rng().NextBernoulli(faults_.write_fail_probability)) {
+    // Injected fail-stop write error: the disk refused the request before
+    // any slot was touched, so the committed value is untouched.
+    ++stats_.injected_write_failures;
+    co_return UnavailableError("injected stable-store write failure");
+  }
   stats_.writes_started += entries.size();
   const uint64_t epoch = host_->crash_epoch();
   TraceContext disk_span;
@@ -132,12 +143,25 @@ Task<Status> StableStore::WriteBatch(
     current_batch_.reset();
   }
 
+  // One-shot injected power failure at the install point: consumed by the
+  // leader whose flush it tears, whether the batch is solitary or a full
+  // group-commit window (every joiner fails with it — crash-atomic).
+  bool injected_tear = false;
+  if (faults_.tear_next_flush) {
+    faults_.tear_next_flush = false;
+    injected_tear = true;
+    ++stats_.injected_torn_flushes;
+  }
+
   Status result = Status::Ok();
-  if (!host_->up() || host_->crash_epoch() != epoch) {
+  if (!host_->up() || host_->crash_epoch() != epoch || injected_tear) {
     // Power failure mid-flush: every staged page stays torn; none was
-    // acknowledged, so losing the whole batch is crash-atomic.
+    // acknowledged, so losing the whole batch is crash-atomic. An injected
+    // tear is Unavailable, not Aborted: the host is still up, so callers
+    // (e.g. the phase-2 retrier) must treat the failure as retryable.
     stats_.writes_torn += batch->staged.size();
-    result = AbortedError("crash during stable write window");
+    result = injected_tear ? UnavailableError("injected torn write during flush")
+                           : AbortedError("crash during stable write window");
   } else {
     ++stats_.group_commit_batches;
     for (auto& [key, value] : batch->staged) {

@@ -57,11 +57,25 @@ struct StableStoreStats {
   uint64_t group_commit_batches = 0;    // flushes (one latency charge each)
   uint64_t group_commit_coalesced = 0;  // writes that joined an open flush
                                         // (latency charges saved)
+  uint64_t injected_write_failures = 0;  // chaos: clean write errors injected
+  uint64_t injected_torn_flushes = 0;    // chaos: flushes torn by injection
 
   void Reset() { *this = StableStoreStats{}; }
   // Registers every field as `storage.stable_store.*{labels}`; this struct
   // must outlive `registry`'s use of it.
   void RegisterWith(MetricsRegistry* registry, const MetricLabels& labels = {});
+};
+
+// Chaos fault hooks. `write_fail_probability` makes Write/WriteBatch return
+// kUnavailable before touching any slot (a disk that refuses the request:
+// the old value is untouched and readable). `tear_next_flush` is a one-shot
+// power-failure: the next flush that reaches its install point tears every
+// staged page instead — the two-slot scheme must surface the old value of
+// each page, never a mix. Both are deterministic under the host's forked
+// rng stream.
+struct StoreFaults {
+  double write_fail_probability = 0.0;
+  bool tear_next_flush = false;
 };
 
 class StableStore {
@@ -100,6 +114,11 @@ class StableStore {
   bool Contains(const std::string& key) const;
   std::vector<std::string> Keys() const;
   std::vector<std::string> KeysWithPrefix(const std::string& prefix) const;
+
+  // Installs (or clears, with a default-constructed value) the chaos fault
+  // hooks; see StoreFaults.
+  void SetFaults(StoreFaults faults) { faults_ = faults; }
+  const StoreFaults& faults() const { return faults_; }
 
   const StableStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }
@@ -145,6 +164,7 @@ class StableStore {
   std::map<std::string, Page> pages_;
   std::shared_ptr<FlushBatch> current_batch_;
   uint64_t next_batch_id_ = 1;
+  StoreFaults faults_;
   Tracer* tracer_ = nullptr;
   StableStoreStats stats_;
 };

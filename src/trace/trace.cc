@@ -31,6 +31,8 @@ const char* TraceKindName(TraceKind kind) {
       return "reconfigured";
     case TraceKind::kPhase2Completed:
       return "phase2-completed";
+    case TraceKind::kDecisionLogged:
+      return "decision-logged";
     case TraceKind::kSlowOp:
       return "slow-op";
     case TraceKind::kCustom:
@@ -54,6 +56,18 @@ void TraceLog::Record(HostId host, TraceKind kind, std::string detail) {
   next_ = (next_ + 1) % ring_.size();
   ++total_recorded_;
   ++counts_[static_cast<size_t>(kind)];
+  if (!observers_.empty()) {
+    // Notify from a copy: a re-entrant Record from an observer (Crash ->
+    // kHostCrashed) may advance the ring into this slot.
+    const TraceEvent copy = slot;
+    for (const auto& observer : observers_) {
+      observer(copy);
+    }
+  }
+}
+
+void TraceLog::AddObserver(std::function<void(const TraceEvent&)> observer) {
+  observers_.push_back(std::move(observer));
 }
 
 std::vector<TraceEvent> TraceLog::Snapshot() const {

@@ -14,6 +14,7 @@
 #define WVOTE_SRC_TRACE_TRACE_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@ enum class TraceKind : uint8_t {
   kRefreshInstalled, // stale representative brought current
   kReconfigured,     // new prefix installed
   kPhase2Completed,  // background phase-2 fanout / retrier converged (txn in detail)
+  kDecisionLogged,   // coordinator durably logged commit, phase 2 not yet sent
   kSlowOp,           // root span exceeded the slow-op threshold (tree in detail)
   kCustom,
   kNumKinds,  // sentinel — keep last, never record
@@ -72,11 +74,20 @@ class TraceLog {
 
   void Clear();
 
+  // Observers run synchronously inside Record(), after the event is in the
+  // ring. The chaos nemesis uses this for phase-targeted fault injection
+  // (crash a host the instant it records a protocol breadcrumb). Observers
+  // may themselves cause recording (e.g. Crash -> kHostCrashed) — they are
+  // re-entered for those events and must guard against recursion. Observers
+  // cannot be removed; register once per run.
+  void AddObserver(std::function<void(const TraceEvent&)> observer);
+
  private:
   Simulator* sim_;
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;
   uint64_t total_recorded_ = 0;
+  std::vector<std::function<void(const TraceEvent&)>> observers_;
   uint64_t counts_[kNumTraceKinds] = {};
   static_assert(kNumTraceKinds <= 64,
                 "TraceKind grew suspiciously large — audit counts_ sizing");

@@ -147,6 +147,12 @@ Task<Status> Coordinator::CommitTransaction(TxnId txn,
     ++stats_.aborted;
     co_return AbortedError("coordinator failed to log decision");
   }
+  // The commit is now decided and durable but no participant knows yet —
+  // the exact window phase-targeted chaos schedules crash into (the ack
+  // must stand and convergence must come from inquiries alone).
+  if (TraceLog* trace = rpc_->network()->trace()) {
+    trace->Record(rpc_->host_id(), TraceKind::kDecisionLogged, txn.ToString());
+  }
 
   if (options_.sync_phase2) {
     TraceContext ack_span;
@@ -212,6 +218,7 @@ Task<void> Coordinator::RunPhase2InBackground(TxnId txn, std::vector<HostId> wri
 
 Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,
                                      std::vector<HostId> read_only, TraceContext ctx) {
+  const uint64_t epoch = rpc_->host()->crash_epoch();
   // Read-only participants only hold locks; an abort releases them and is
   // indistinguishable from a commit for them.
   for (HostId host : read_only) {
@@ -226,10 +233,12 @@ Task<Status> Coordinator::SendPhase2(TxnId txn, std::vector<HostId> writers,
   }
   std::vector<HostAck> acks = co_await JoinAll<HostAck>(rpc_->sim(), std::move(commits));
 
-  for (const auto& [host, ack] : acks) {
-    if (!ack.ok() && ack.status().code() == StatusCode::kAborted) {
-      co_return ack.status();  // our host crashed; stop driving
-    }
+  // Only our own crash ends the drive — check the epoch rather than trusting
+  // the status code, because a live participant whose store write failed
+  // (e.g. an injected torn flush) also replies Aborted/Unavailable and must
+  // be retried, not abandoned with its locks held.
+  if (!rpc_->host()->up() || rpc_->host()->crash_epoch() != epoch) {
+    co_return AbortedError("coordinator crashed during phase-2 fan-out");
   }
   // Any participant that still hasn't acked gets a background retrier; it
   // will also converge on its own via recovery + decision inquiry.
@@ -251,8 +260,12 @@ Task<void> Coordinator::RetryCommitForever(TxnId txn, HostId participant, TraceC
                                  " participant=" + std::to_string(participant));
     }
   }
+  const uint64_t epoch = rpc_->host()->crash_epoch();
   for (;;) {
-    if (!rpc_->host()->up()) {
+    // Our crash epoch, not the ack's status code, decides when to stop: a
+    // live participant can reply with an error (store fault injection) and
+    // still needs the retrier to keep driving until the commit applies.
+    if (!rpc_->host()->up() || rpc_->host()->crash_epoch() != epoch) {
       if (tracer != nullptr) {
         tracer->EndWith(span, "coordinator down");
       }
@@ -271,12 +284,6 @@ Task<void> Coordinator::RetryCommitForever(TxnId txn, HostId participant, TraceC
         tracer->EndWith(span, "delivered");
       }
       co_return;
-    }
-    if (ack.status().code() == StatusCode::kAborted) {
-      if (tracer != nullptr) {
-        tracer->EndWith(span, "coordinator crashed");
-      }
-      co_return;  // our host crashed
     }
     co_await rpc_->sim()->Sleep(options_.rpc_timeout);
   }

@@ -1,14 +1,53 @@
 #include "src/workload/fault_injector.h"
 
+#include <memory>
+#include <utility>
+
 #include "src/common/check.h"
 
 namespace wvote {
 
 void FaultInjectorStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
   registry->RegisterCounter("workload.fault_injector.crashes", labels, &crashes);
+  registry->RegisterCounter("workload.fault_injector.phase_crashes", labels, &phase_crashes);
   registry->RegisterGauge("workload.fault_injector.downtime_seconds", labels,
                           [this]() { return total_downtime.ToSeconds(); });
   registry->AddResetHook([this]() { Reset(); });
+}
+
+void ArmPhaseCrash(Simulator* sim, TraceLog* trace, Host* host, TraceKind kind,
+                   Duration downtime, FaultInjectorStats* stats,
+                   std::string detail_substring) {
+  // shared_ptr guard: the observer outlives this frame and must both fire
+  // at most once and tolerate re-entrant Record calls (Crash() itself
+  // records kHostCrashed, which re-enters the observer list).
+  auto fired = std::make_shared<bool>(false);
+  trace->AddObserver([sim, host, kind, downtime, stats, fired,
+                      substr = std::move(detail_substring)](const TraceEvent& ev) {
+    if (*fired || ev.kind != kind || ev.host != host->id()) {
+      return;
+    }
+    if (!substr.empty() && ev.detail.find(substr) == std::string::npos) {
+      return;
+    }
+    if (!host->up()) {
+      return;  // already down; the phase window will recur after restart
+    }
+    *fired = true;
+    host->Crash();
+    if (stats != nullptr) {
+      ++stats->crashes;
+      ++stats->phase_crashes;
+      stats->total_downtime += downtime;
+    }
+    if (downtime > Duration::Zero()) {
+      sim->Schedule(downtime, [host]() {
+        if (!host->up()) {
+          host->Restart();
+        }
+      });
+    }
+  });
 }
 
 FaultProfile ProfileForAvailability(double availability, Duration mttr) {

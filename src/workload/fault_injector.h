@@ -9,15 +9,19 @@
 #ifndef WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_
 #define WVOTE_SRC_WORKLOAD_FAULT_INJECTOR_H_
 
+#include <string>
+
 #include "src/net/host.h"
 #include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
+#include "src/trace/trace.h"
 
 namespace wvote {
 
 struct FaultInjectorStats {
   uint64_t crashes = 0;
+  uint64_t phase_crashes = 0;  // one-shot crashes fired by ArmPhaseCrash
   Duration total_downtime;
 
   void Reset() { *this = FaultInjectorStats{}; }
@@ -32,6 +36,18 @@ struct FaultInjectorStats {
 Task<void> RunCrashRestartCycle(Simulator* sim, Host* host, Duration mttf, Duration mttr,
                                 TimePoint end, uint64_t seed,
                                 FaultInjectorStats* stats = nullptr);
+
+// Phase-targeted one-shot crash: arms a TraceLog observer that crashes
+// `host` the instant it records an event of `kind` at that host (optionally
+// only when the event detail contains `detail_substring`), then restarts it
+// after `downtime` (zero leaves it down). Fires at most once. This is how
+// chaos schedules hit exact protocol windows — e.g. kind=kTxnPrepared
+// crashes a participant between its yes-vote and the commit, and
+// kind=kDecisionLogged crashes a coordinator after the decision is durable
+// but before any phase-2 fan-out. `stats` (optional) must outlive the run.
+void ArmPhaseCrash(Simulator* sim, TraceLog* trace, Host* host, TraceKind kind,
+                   Duration downtime, FaultInjectorStats* stats = nullptr,
+                   std::string detail_substring = "");
 
 // mttf/mttr pair whose steady-state availability is `availability`, with the
 // given repair time.

@@ -13,6 +13,7 @@
 #include "src/txn/coordinator.h"
 #include "src/txn/participant.h"
 #include "src/trace/trace.h"
+#include "src/workload/fault_injector.h"
 
 namespace wvote {
 namespace {
@@ -162,37 +163,32 @@ TEST_F(AsyncCommitTest, SyncModePaysTheThirdRoundTrip) {
 
 TEST_F(AsyncCommitTest, CoordinatorCrashAfterAckConvergesViaWatchdog) {
   // The correctness bar: the client holds a success ack but phase 2 never
-  // reaches the participant — the coordinator is partitioned away when the
-  // CommitReq goes out (dropped at send) and then crashes, which kills its
-  // retriers. The participant never restarts, so the only convergence path
-  // is its in-doubt watchdog inquiring at the restarted coordinator host,
-  // whose durable decision log answers COMMIT.
+  // reaches the participant. Instead of guessing the window with wall-clock
+  // offsets, arm a phase-targeted one-shot crash on the kDecisionLogged
+  // breadcrumb: the coordinator host dies at the exact instant the decision
+  // is durable and before any CommitReq is sent, so no retrier survives.
+  // The participant never restarts, so the only convergence path is its
+  // in-doubt watchdog inquiring at the restarted coordinator host, whose
+  // durable decision log answers COMMIT.
   TxnId txn = coordinator_->Begin();
   ASSERT_TRUE(LockAt(0, txn, "x").ok());
+
+  FaultInjectorStats fault_stats;
+  ArmPhaseCrash(&sim_, &trace_log_, client_host_, TraceKind::kDecisionLogged,
+                /*downtime=*/Duration::Millis(100), &fault_stats);
 
   std::map<HostId, std::vector<WriteIntent>> writes;
   writes[Hid(0)] = {WriteIntent("x", "survives")};
   auto out = SpawnCommit(txn, std::move(writes));
-  // Prepare's ack arrives at ~12ms; partition the coordinator at 13ms, just
-  // before the decision is logged (14ms, local — unaffected): the client
-  // ack stands, but every outgoing CommitReq is dropped at send.
-  sim_.Schedule(Duration::Millis(13),
-                [this] { net_.Partition({{client_host_->id()}}); });
-  // Crash the coordinator host: pending commit calls resolve Aborted and
-  // the phase-2 driver stops without spawning retriers.
-  sim_.Schedule(Duration::Millis(25), [this] { client_host_->Crash(); });
   sim_.RunFor(Duration::Millis(30));
   ASSERT_TRUE(out->has_value());
-  EXPECT_TRUE((*out)->ok()) << "client ack must precede the crash";
-  EXPECT_EQ(CommittedAt(0, "x"), "<NOT_FOUND>");
+  EXPECT_TRUE((*out)->ok()) << "decision was durable before the crash: the ack stands";
+  EXPECT_EQ(fault_stats.phase_crashes, 1u);
+  EXPECT_EQ(CommittedAt(0, "x"), "<NOT_FOUND>") << "no CommitReq ever left the coordinator";
 
-  // Heal and restart the host; the participant never restarts. The watchdog
-  // armed at prepare time fires after 15s and resolves through the durable
-  // decision log.
-  sim_.Schedule(Duration::Millis(100), [this] {
-    net_.HealPartition();
-    client_host_->Restart();
-  });
+  // The host restarted after its 100ms downtime; the participant never
+  // restarts. The watchdog armed at prepare time fires after 15s and
+  // resolves through the durable decision log.
   sim_.RunFor(Duration::Seconds(30));
 
   EXPECT_EQ(CommittedAt(0, "x"), "survives");

@@ -143,6 +143,55 @@ TEST_F(NetworkTest, LossyLinkDropsApproximatelyAtRate) {
   EXPECT_EQ(net_.stats().dropped_loss + static_cast<uint64_t>(delivered), 4000u);
 }
 
+TEST_F(NetworkTest, DuplicatingLinkDeliversTwiceAndCounts) {
+  LinkKnobs knobs;
+  knobs.dup_probability = 1.0;
+  net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(1)), knobs);
+  int delivered = 0;
+  b_->SetMessageHandler([&](Message) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    net_.Send(a_->id(), b_->id(), std::string("x"));
+  }
+  sim_.Run();
+  EXPECT_EQ(delivered, 200);
+  EXPECT_EQ(net_.stats().duplicated, 100u);
+  // Duplicates are extra deliveries, not extra sends.
+  EXPECT_EQ(net_.stats().messages_sent, 100u);
+  EXPECT_EQ(net_.stats().messages_delivered, 200u);
+}
+
+TEST_F(NetworkTest, DelaySpikesStretchLatencyAndCount) {
+  LinkKnobs knobs;
+  knobs.delay_spike_probability = 1.0;
+  knobs.delay_spike = Duration::Millis(50);
+  net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(1)), knobs);
+  TimePoint when;
+  b_->SetMessageHandler([&](Message) { when = sim_.Now(); });
+  net_.Send(a_->id(), b_->id(), std::string("x"));
+  sim_.Run();
+  EXPECT_EQ(when.ToMicros(), Duration::Millis(51).ToMicros());
+  EXPECT_EQ(net_.stats().delay_spikes, 1u);
+}
+
+TEST_F(NetworkTest, SetAllLinkKnobsAppliesToOverridesAndClears) {
+  net_.SetLink(a_->id(), b_->id(), LatencyModel::Fixed(Duration::Millis(9)));
+  LinkKnobs storm;
+  storm.dup_probability = 1.0;
+  net_.SetAllLinkKnobs(storm);
+  int delivered = 0;
+  TimePoint when;
+  b_->SetMessageHandler([&](Message) { ++delivered; when = sim_.Now(); });
+  net_.Send(a_->id(), b_->id(), std::string("x"));
+  sim_.Run();
+  // The override's latency survived the knob swap; the message duplicated.
+  EXPECT_EQ(when.ToMicros(), Duration::Millis(9).ToMicros());
+  EXPECT_EQ(delivered, 2);
+  net_.SetAllLinkKnobs(LinkKnobs{});  // all-clear heals the weather
+  net_.Send(a_->id(), b_->id(), std::string("x"));
+  sim_.Run();
+  EXPECT_EQ(delivered, 3);
+}
+
 TEST_F(NetworkTest, StatsCountBytes) {
   b_->SetMessageHandler([](Message) {});
   net_.Send(a_->id(), b_->id(), std::string("x"), /*approx_bytes=*/512);

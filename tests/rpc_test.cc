@@ -186,6 +186,27 @@ TEST_F(RpcTest, HandlerRunsOncePerRequest) {
   EXPECT_EQ(server_->stats().requests_handled, 2u);
 }
 
+TEST_F(RpcTest, DuplicatingLinkDeliversOneReplyPerCall) {
+  // A link that duplicates every packet re-delivers both the request and the
+  // reply. The handler legitimately runs once per received request copy (the
+  // transport promises at-least-once; idempotency is the application's job),
+  // but Call() must consume exactly one reply per call and drop the echoes.
+  LinkKnobs knobs;
+  knobs.dup_probability = 1.0;
+  net_.SetDefaultLink(LatencyModel::Fixed(Duration::Millis(5)), knobs);
+  Result<CountResp> first = Call<CountReq, CountResp>(CountReq{}, Duration::Seconds(1));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().count, 1);
+  Result<CountResp> second = Call<CountReq, CountResp>(CountReq{}, Duration::Seconds(1));
+  ASSERT_TRUE(second.ok());
+  // Each call's request arrived twice, so the counter advanced by two per
+  // call — and each Call returned exactly once, with its own first reply.
+  EXPECT_EQ(second.value().count, 3);
+  EXPECT_EQ(server_->stats().requests_handled, 4u);
+  EXPECT_EQ(client_->stats().calls_ok, 2u);
+  EXPECT_GT(net_.stats().duplicated, 0u);
+}
+
 TEST_F(RpcTest, StatsDistinguishOutcomes) {
   (void)Call<EchoReq, EchoResp>(EchoReq("a"), Duration::Seconds(1));
   (void)Call<SlowReq, EchoResp>(SlowReq(5000), Duration::Millis(10));

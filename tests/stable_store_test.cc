@@ -285,5 +285,63 @@ TEST_F(StableStoreTest, CrashDuringWriteBatchLosesAllOrNothing) {
   EXPECT_FALSE(store_.Contains("w"));
 }
 
+TEST_F(StableStoreTest, InjectedWriteFailureIsCleanAndCounted) {
+  ASSERT_TRUE(RunWrite("k", "old").ok());
+  StoreFaults faults;
+  faults.write_fail_probability = 1.0;
+  store_.SetFaults(faults);
+  Status st = RunWrite("k", "new");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store_.stats().injected_write_failures, 1u);
+  // Clean refusal: the failure happened before the careful-write window, so
+  // the committed slot is untouched — no restart needed to read it.
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "old");
+  store_.SetFaults(StoreFaults{});
+  ASSERT_TRUE(RunWrite("k", "new").ok());
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "new");
+}
+
+TEST_F(StableStoreTest, InjectedTornFlushSurfacesOldValueNeverTornMix) {
+  ASSERT_TRUE(RunWrite("k", "old").ok());
+  StoreFaults faults;
+  faults.tear_next_flush = true;
+  store_.SetFaults(faults);
+  Status st = RunWrite("k", "new");
+  EXPECT_EQ(st.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store_.stats().injected_torn_flushes, 1u);
+  EXPECT_EQ(store_.stats().writes_torn, 1u);
+  // Two-slot careful write: the torn flush never reached the committed
+  // slot, so recovery sees the complete old value — not a torn mix.
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "old");
+  EXPECT_FALSE(store_.faults().tear_next_flush);  // one-shot, consumed
+  // The next flush is healthy again and installs the complete new value.
+  ASSERT_TRUE(RunWrite("k", "new").ok());
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "new");
+}
+
+TEST_F(StableStoreTest, InjectedTearHitsTheWholeGroupCommitWindow) {
+  ASSERT_TRUE(RunWrite("k", "stable").ok());
+  StoreFaults faults;
+  faults.tear_next_flush = true;
+  store_.SetFaults(faults);
+  auto s0 = std::make_shared<Status>(InternalError("pending"));
+  auto s1 = std::make_shared<Status>(InternalError("pending"));
+  Spawn(CaptureWrite(&store_, "k", "torn", s0));
+  Spawn(CaptureWrite(&store_, "fresh", "x", s1));  // joins the open batch
+  sim_.Run();
+  // The one-shot tear is crash-atomic across the batch: every joiner fails
+  // with the leader, nothing was acknowledged, nothing installed.
+  EXPECT_EQ(s0->code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s1->code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store_.stats().writes_torn, 2u);
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "stable");
+  EXPECT_FALSE(store_.Contains("fresh"));
+  // One-shot: a rewrite of the same batch content now succeeds completely.
+  ASSERT_TRUE(RunWrite("k", "after").ok());
+  ASSERT_TRUE(RunWrite("fresh", "x").ok());
+  EXPECT_EQ(store_.ReadCommitted("k").value(), "after");
+  EXPECT_EQ(store_.ReadCommitted("fresh").value(), "x");
+}
+
 }  // namespace
 }  // namespace wvote

@@ -73,6 +73,24 @@ TEST(TraceLogTest, DumpMentionsKindNames) {
   EXPECT_NE(dump.find("txn(1.1@0)"), std::string::npos);
 }
 
+TEST(TraceLogTest, ObserversRunSynchronouslyAndMayReenter) {
+  Simulator sim(1);
+  TraceLog trace(&sim, 16);
+  std::vector<std::string> seen;
+  trace.AddObserver([&](const TraceEvent& ev) {
+    seen.push_back(ev.detail);
+    // Re-entrant Record from inside an observer must not corrupt the event
+    // being observed (the chaos nemesis crashes hosts from observers, which
+    // records kHostCrashed while the triggering event is still in flight).
+    if (ev.kind == TraceKind::kCustom && ev.detail == "trigger") {
+      trace.Record(9, TraceKind::kHostCrashed, "from-observer");
+    }
+  });
+  trace.Record(1, TraceKind::kCustom, "trigger");
+  EXPECT_EQ(seen, (std::vector<std::string>{"trigger", "from-observer"}));
+  EXPECT_EQ(trace.CountOf(TraceKind::kHostCrashed), 1u);
+}
+
 TEST(TraceIntegrationTest, ClusterCapturesProtocolEvents) {
   Cluster cluster;
   for (int i = 0; i < 3; ++i) {

@@ -243,7 +243,12 @@ ChaosRunOutcome RunChaosWithSchedule(const ChaosRunSpec& spec,
         have_ops ? std::vector<uint64_t>{outcome.history.back().id}
                  : std::vector<uint64_t>{}});
   }
-  outcome.metrics_json = cluster.metrics().ExportJson();
+  // Artifacts are byte-replayable records of the simulation; drop the
+  // wall-clock throughput gauge (how fast *this machine* ran the event
+  // loop), which would make two identical runs dump different bytes.
+  MetricsSnapshot metrics_snapshot = cluster.metrics().Snapshot();
+  metrics_snapshot.gauges.erase("sim.events_per_sec");
+  outcome.metrics_json = metrics_snapshot.ToJson();
   if (spec.collect_trace) {
     bool first = true;
     cluster.tracer().AppendChromeEvents(&outcome.chrome_trace, &first, 0, "chaos");

@@ -20,6 +20,7 @@ Cluster::Cluster(ClusterOptions options)
     return host != nullptr ? host->name() : std::to_string(id);
   });
   net_.RegisterMetrics(&metrics_);
+  sim_.RegisterMetrics(&metrics_);
 }
 
 RepresentativeServer* Cluster::AddRepresentative(const std::string& host_name) {

@@ -10,6 +10,8 @@
 
 #include <any>
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 namespace wvote {
 
@@ -24,6 +26,32 @@ struct Message {
   size_t approx_bytes = 0;
   std::any payload;
 };
+
+// Payload wrapper for a message the network delivers more than once (a
+// duplicating link). Instead of deep-copying the std::any at send time, both
+// in-flight copies share one body; the network unwraps at delivery, and only
+// a copy that is not the last holder of the body pays for a deep copy. A
+// duplicate whose sibling was dropped (destination crashed mid-flight) is
+// delivered by move, copying nothing.
+struct SharedDupPayload {
+  std::shared_ptr<std::any> body;
+};
+
+// Replaces a SharedDupPayload wrapper with the body it carries; messages
+// with ordinary payloads pass through untouched. Called by the network just
+// before Host::Deliver, so payload consumers only ever see the plain type.
+inline void UnwrapSharedPayload(Message& msg) {
+  auto* shared = std::any_cast<SharedDupPayload>(&msg.payload);
+  if (shared == nullptr) {
+    return;
+  }
+  std::shared_ptr<std::any> body = std::move(shared->body);
+  if (body.use_count() == 1) {
+    msg.payload = std::move(*body);
+  } else {
+    msg.payload = *body;
+  }
+}
 
 }  // namespace wvote
 

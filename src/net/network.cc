@@ -33,6 +33,8 @@ Host* Network::AddHost(const std::string& name) {
   const HostId id = static_cast<HostId>(hosts_.size());
   hosts_.push_back(std::make_unique<Host>(id, name, sim_->rng().Fork()));
   hosts_.back()->SetTraceLog(trace_);
+  // First registration wins, matching what a linear scan would find.
+  host_index_.emplace(name, id);
   return hosts_.back().get();
 }
 
@@ -54,12 +56,8 @@ const Host* Network::host(HostId id) const {
 }
 
 Host* Network::FindHost(const std::string& name) {
-  for (auto& h : hosts_) {
-    if (h->name() == name) {
-      return h.get();
-    }
-  }
-  return nullptr;
+  auto it = host_index_.find(name);
+  return it == host_index_.end() ? nullptr : hosts_[static_cast<size_t>(it->second)].get();
 }
 
 void Network::SetDefaultLink(LatencyModel latency, double loss_probability) {
@@ -189,26 +187,71 @@ void Network::Send(HostId from, HostId to, std::any payload, size_t approx_bytes
   }
   if (knobs.dup_probability > 0.0 && sim_->rng().NextBernoulli(knobs.dup_probability)) {
     // Deliver a second copy with its own latency sample; the copies race
-    // and may reorder, exactly as duplicated datagrams do.
+    // and may reorder, exactly as duplicated datagrams do. The copies share
+    // one payload body instead of deep-copying the std::any here; delivery
+    // unwraps, and at most one of the two pays for a copy then.
     ++stats_.duplicated;
-    Message copy = msg;
+    auto body = std::make_shared<std::any>(std::move(msg.payload));
+    Message copy = msg;  // payload already moved out; field copy is cheap
+    copy.payload = SharedDupPayload{body};
+    msg.payload = SharedDupPayload{std::move(body)};
     ScheduleDelivery(dst, std::move(copy), link.latency.Sample(sim_->rng()));
   }
   ScheduleDelivery(dst, std::move(msg), delay);
 }
 
+Network::DeliveryBatch* Network::AcquireBatch() {
+  if (free_batches_.empty()) {
+    batch_pool_.push_back(std::make_unique<DeliveryBatch>());
+    return batch_pool_.back().get();
+  }
+  DeliveryBatch* batch = free_batches_.back();
+  free_batches_.pop_back();
+  batch->msgs.clear();  // keeps capacity
+  return batch;
+}
+
+void Network::RecycleBatch(DeliveryBatch* batch) { free_batches_.push_back(batch); }
+
 void Network::ScheduleDelivery(Host* dst, Message msg, Duration delay) {
-  sim_->Schedule(delay, [this, dst, msg = std::move(msg)]() mutable {
-    if (!dst->up()) {
-      ++stats_.dropped_dest_down;
-      if (trace_ != nullptr) {
-        trace_->Record(dst->id(), TraceKind::kMessageDropped, "destination down");
-      }
-      return;
+  const TimePoint at = sim_->Now() + delay;
+  if (open_batch_ != nullptr && open_batch_dst_ == dst->id() && open_batch_at_ == at &&
+      sim_->next_seq() == open_batch_next_seq_) {
+    // Nothing has been scheduled since the open batch's event was created,
+    // so this delivery's event would carry the very next seq and fire
+    // immediately after the batch at the same timestamp. Folding it into
+    // the batch is therefore indistinguishable from scheduling it.
+    open_batch_->msgs.push_back(std::move(msg));
+    sim_->NoteCoalesced();
+    return;
+  }
+  DeliveryBatch* batch = AcquireBatch();
+  batch->msgs.push_back(std::move(msg));
+  sim_->Schedule(delay, [this, dst, batch]() {
+    if (open_batch_ == batch) {
+      open_batch_ = nullptr;  // firing now; nothing may join anymore
     }
-    ++stats_.messages_delivered;
-    dst->Deliver(std::move(msg));
+    for (Message& m : batch->msgs) {
+      // Liveness is rechecked per message: handling an earlier message in
+      // this batch may crash the host, which must drop the rest exactly as
+      // it would have dropped their individual delivery events.
+      if (!dst->up()) {
+        ++stats_.dropped_dest_down;
+        if (trace_ != nullptr) {
+          trace_->Record(dst->id(), TraceKind::kMessageDropped, "destination down");
+        }
+        continue;
+      }
+      ++stats_.messages_delivered;
+      UnwrapSharedPayload(m);
+      dst->Deliver(std::move(m));
+    }
+    RecycleBatch(batch);
   });
+  open_batch_ = batch;
+  open_batch_dst_ = dst->id();
+  open_batch_at_ = at;
+  open_batch_next_seq_ = sim_->next_seq();
 }
 
 }  // namespace wvote

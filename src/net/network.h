@@ -130,11 +130,21 @@ class Network {
     LinkKnobs knobs;
   };
 
+  // Messages bound for the same host at the same instant, delivered by one
+  // simulator event. Batches are pooled so steady-state delivery reuses
+  // their vector capacity instead of allocating per message.
+  struct DeliveryBatch {
+    std::vector<Message> msgs;
+  };
+
   const Link& LinkFor(HostId from, HostId to) const;
   void ScheduleDelivery(Host* dst, Message msg, Duration delay);
+  DeliveryBatch* AcquireBatch();
+  void RecycleBatch(DeliveryBatch* batch);
 
   Simulator* sim_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::map<std::string, HostId> host_index_;  // name -> id, built by AddHost
   Link default_link_;
   std::map<std::pair<HostId, HostId>, Link> link_overrides_;
   std::vector<int> partition_group_;  // empty: fully connected
@@ -142,6 +152,18 @@ class Network {
   TraceLog* trace_ = nullptr;
   Tracer* tracer_ = nullptr;
   NetworkStats stats_;
+
+  // The most recently scheduled, not-yet-fired delivery batch. A new
+  // delivery may join it only if it targets the same host at the same
+  // timestamp AND the simulator has issued no event seq since the batch's
+  // own event — the folded delivery is then indistinguishable from the
+  // event it would have been, so coalescing cannot reorder anything.
+  std::vector<std::unique_ptr<DeliveryBatch>> batch_pool_;
+  std::vector<DeliveryBatch*> free_batches_;
+  DeliveryBatch* open_batch_ = nullptr;
+  HostId open_batch_dst_ = kInvalidHost;
+  TimePoint open_batch_at_;
+  uint64_t open_batch_next_seq_ = 0;
 };
 
 }  // namespace wvote

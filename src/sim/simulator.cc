@@ -1,45 +1,156 @@
 #include "src/sim/simulator.h"
 
-#include <utility>
+#include <bit>
+#include <chrono>
 
-#include "src/common/check.h"
+#include "src/obs/metrics.h"
 
 namespace wvote {
 
+using sim_internal::EventNode;
+
 Simulator::Simulator(uint64_t seed) : rng_(seed) {}
 
-EventHandle Simulator::Schedule(Duration delay, std::function<void()> fn) {
-  WVOTE_CHECK_MSG(delay >= Duration::Zero(), "cannot schedule in the past");
-  return ScheduleAt(now_ + delay, std::move(fn));
+Simulator::~Simulator() {
+  // Destroy callbacks still parked in the wheel; their captures (promises,
+  // messages, coroutine frames) may own resources. Pool chunks free with
+  // chunks_.
+  for (Level& level : levels_) {
+    for (EventNode* node : level.head) {
+      while (node != nullptr) {
+        EventNode* next = node->next;
+        if (node->destroy != nullptr) {
+          node->destroy(node);
+        }
+        node = next;
+      }
+    }
+  }
 }
 
-EventHandle Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
-  WVOTE_CHECK_MSG(when >= now_, "cannot schedule in the past");
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
-  return EventHandle(cancelled);
+void Simulator::AllocateChunk() {
+  auto chunk = std::make_unique<EventNode[]>(kChunkNodes);
+  for (size_t i = 0; i < kChunkNodes; ++i) {
+    chunk[i].next = free_;
+    free_ = &chunk[i];
+  }
+  chunks_.push_back(std::move(chunk));
+}
+
+void Simulator::InsertNode(EventNode* node) {
+  const uint64_t when = node->when_us;
+  // Lowest level whose window [base, base + 64^(l+1)) contains `when`; the
+  // top level is a catch-all (its window exceeds any int64 timestamp).
+  int lvl = kLevels - 1;
+  for (int l = 0; l < kLevels - 1; ++l) {
+    const uint64_t window = uint64_t{1} << (kSlotBits * (l + 1));
+    if (when >= levels_[l].base && when - levels_[l].base < window) {
+      lvl = l;
+      break;
+    }
+  }
+  Level& level = levels_[lvl];
+  WVOTE_DCHECK(when >= level.base);
+  const int s = static_cast<int>((when - level.base) >> (kSlotBits * lvl));
+  node->next = nullptr;
+  if (level.head[s] == nullptr) {
+    level.head[s] = node;
+    level.tail[s] = node;
+    level.occupied |= uint64_t{1} << s;
+  } else {
+    // Fresh inserts carry a globally increasing seq, so tail-append keeps
+    // every slot chain sorted by seq.
+    level.tail[s]->next = node;
+    level.tail[s] = node;
+  }
 }
 
 bool Simulator::Step(TimePoint limit) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > limit) {
+  const uint64_t limit_us = static_cast<uint64_t>(limit.ToMicros());
+  for (;;) {
+    Level& l0 = levels_[0];
+    while (l0.occupied == 0) {
+      int lvl = 1;
+      while (lvl < kLevels && levels_[lvl].occupied == 0) {
+        ++lvl;
+      }
+      if (lvl == kLevels) {
+        // Wheel empty. Reset the origins: reaping trailing cancelled events
+        // advances level bases without advancing now_, and a later insert at
+        // a timestamp below a stranded base would land in the wrong slot.
+        for (Level& level : levels_) {
+          level.base = 0;
+        }
+        return false;
+      }
+      // The earliest pending event sits in this level's lowest occupied
+      // slot. If that whole slot starts after `limit`, stop before touching
+      // the wheel so the bases never pass the clock RunUntil will set.
+      Level& src = levels_[lvl];
+      const int slot = std::countr_zero(src.occupied);
+      const uint64_t width = uint64_t{1} << (kSlotBits * lvl);
+      const uint64_t slot_start = src.base + static_cast<uint64_t>(slot) * width;
+      if (slot_start > limit_us) {
+        return false;
+      }
+      // Cascade: re-anchor every lower level at this slot's start and deal
+      // the slot's chain one level down. The chain is seq-sorted and the
+      // destination slots are all empty (lower levels were exhausted), so
+      // tail-appends preserve per-slot seq order.
+      EventNode* chain = src.head[slot];
+      src.head[slot] = nullptr;
+      src.tail[slot] = nullptr;
+      src.occupied &= ~(uint64_t{1} << slot);
+      for (int k = 0; k < lvl; ++k) {
+        levels_[k].base = slot_start;
+      }
+      Level& dst = levels_[lvl - 1];
+      const int shift = kSlotBits * (lvl - 1);
+      while (chain != nullptr) {
+        EventNode* next = chain->next;
+        const int s = static_cast<int>((chain->when_us - slot_start) >> shift);
+        chain->next = nullptr;
+        if (dst.head[s] == nullptr) {
+          dst.head[s] = chain;
+          dst.tail[s] = chain;
+          dst.occupied |= uint64_t{1} << s;
+        } else {
+          dst.tail[s]->next = chain;
+          dst.tail[s] = chain;
+        }
+        chain = next;
+      }
+    }
+    // Level-0 slots are single ticks, so the lowest occupied slot is the
+    // earliest timestamp and its chain head carries the lowest seq.
+    const int slot = std::countr_zero(l0.occupied);
+    const uint64_t tick = l0.base + static_cast<uint64_t>(slot);
+    if (tick > limit_us) {
       return false;
     }
-    // Move the event out before running it: the callback may schedule new
-    // events and mutate the queue.
-    Event ev = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    if (*ev.cancelled) {
+    EventNode* node = l0.head[slot];
+    l0.head[slot] = node->next;
+    if (l0.head[slot] == nullptr) {
+      l0.tail[slot] = nullptr;
+      l0.occupied &= ~(uint64_t{1} << slot);
+    }
+    --pending_;
+    if (node->cancelled) {
+      // Reaping a cancelled event advances neither the clock nor
+      // events_processed.
+      if (node->destroy != nullptr) {
+        node->destroy(node);
+      }
+      RecycleNode(node);
       continue;
     }
-    WVOTE_DCHECK(ev.when >= now_);
-    now_ = ev.when;
-    ++events_processed_;
-    ev.fn();
+    WVOTE_DCHECK(tick >= static_cast<uint64_t>(now_.ToMicros()));
+    now_ = TimePoint::FromMicros(static_cast<int64_t>(tick));
+    ++stats_.events_processed;
+    node->run(node);  // runs and destroys the callback
+    RecycleNode(node);
     return true;
   }
-  return false;
 }
 
 void Simulator::Run() {
@@ -56,6 +167,23 @@ size_t Simulator::RunUntil(TimePoint limit) {
     now_ = limit;
   }
   return n;
+}
+
+void Simulator::RegisterMetrics(MetricsRegistry* registry) {
+  registry->RegisterCounter("sim.events_scheduled", {}, &stats_.events_scheduled);
+  registry->RegisterCounter("sim.events_processed", {}, &stats_.events_processed);
+  registry->RegisterCounter("sim.events_cancelled", {}, &stats_.events_cancelled);
+  registry->RegisterCounter("sim.events_coalesced", {}, &stats_.events_coalesced);
+  const auto start = std::chrono::steady_clock::now();
+  const uint64_t start_events = stats_.events_processed;
+  registry->RegisterGauge("sim.events_per_sec", {}, [this, start, start_events]() {
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    if (secs <= 0.0) {
+      return 0.0;
+    }
+    return static_cast<double>(stats_.events_processed - start_events) / secs;
+  });
 }
 
 }  // namespace wvote

@@ -136,6 +136,49 @@ int RunSweep(int seeds_per_cell, MetricsMode metrics_mode) {
       nemesis_events += cell_nemesis;
     }
   }
+  // Strategy-rotation sweep: the same checker, but every workload client is
+  // cycled through the probing policies (cheapest -> uniform -> load-optimal
+  // -> fewest-messages) mid-run while the nemesis is active. Rotation only
+  // changes which current representatives a quorum is gathered from — the
+  // consistency spec (R-VALUE, RW-ORDER, convergence) must hold across every
+  // switch, including switches racing crashes and partitions.
+  const ChaosSuiteSpec rotation_suite =
+      g_bench_smoke ? suites[1] : ChaosSuiteSpec{"weighted-r2w4", {2, 2, 1}, 2, 4, false};
+  uint64_t total_rotations = 0;
+  for (const std::string& tmpl : templates) {
+    int cell_failures = 0;
+    uint64_t cell_ok = 0;
+    uint64_t cell_ambiguous = 0;
+    uint64_t cell_nemesis = 0;
+    for (int seed = 1; seed <= seeds_per_cell; ++seed) {
+      ChaosRunSpec spec;
+      spec.seed = static_cast<uint64_t>(seed);
+      spec.schedule_template = tmpl;
+      spec.suite = rotation_suite;
+      spec.rotate_strategies = true;
+      ChaosRunOutcome outcome = RunChaos(spec);
+      ++runs;
+      cell_ok += outcome.check.ok_reads + outcome.check.ok_writes;
+      cell_ambiguous += outcome.check.ambiguous_ops;
+      cell_nemesis += outcome.nemesis_events_applied;
+      total_rotations += outcome.strategy_rotations;
+      if (!outcome.check.ok()) {
+        ++cell_failures;
+        HandleFailure("rotation", spec, outcome);
+      }
+    }
+    std::printf("%-14s %-14s %6d %9llu %9llu %9llu %6d\n", tmpl.c_str(),
+                (rotation_suite.name + "+rot").c_str(), seeds_per_cell,
+                static_cast<unsigned long long>(cell_ok),
+                static_cast<unsigned long long>(cell_ambiguous),
+                static_cast<unsigned long long>(cell_nemesis), cell_failures);
+    failures += cell_failures;
+    ok_ops += cell_ok;
+    ambiguous_ops += cell_ambiguous;
+    nemesis_events += cell_nemesis;
+  }
+  std::printf("# rotation sweep: %llu mid-run policy switches applied\n",
+              static_cast<unsigned long long>(total_rotations));
   std::printf("# sweep total: %d runs, %llu ok ops, %llu ambiguous, %llu nemesis events, "
               "%d checker failures\n",
               runs, static_cast<unsigned long long>(ok_ops),

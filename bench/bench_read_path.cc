@@ -16,6 +16,7 @@
 // documented in EXPERIMENTS.md). `--smoke` shrinks iteration counts so CI
 // can run the binary end-to-end in seconds.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -52,6 +53,13 @@ struct RunResult {
   double bytes_per_read = 0;
   double hit_rate = 0;
   uint64_t plan_builds = 0;
+  // Per-host read work, attributed from representative-side counters:
+  // version polls answered plus explicit data reads served. max_share is the
+  // busiest host's fraction of that total — the probe-load hotspot measure
+  // E14 optimizes (cheapest-first pins it near the top representative).
+  uint64_t polls[4] = {0, 0, 0, 0};
+  uint64_t data_reads[4] = {0, 0, 0, 0};
+  double max_share = 0;
 };
 
 // Read-heavy closed loop: every 10th operation is a write (so versions move
@@ -83,6 +91,9 @@ RunResult RunWorkload(bool fastpath, bool faulty, const char* tag) {
   WVOTE_CHECK(seeded.ok());
   cluster.net().ResetStats();
   dep.client->ResetStats();
+  for (int h = 0; h < 4; ++h) {
+    cluster.representative("srv-" + std::to_string(h))->ResetStats();
+  }
 
   RunResult out;
   const uint64_t messages_before = cluster.net().stats().messages_sent;
@@ -128,9 +139,41 @@ RunResult RunWorkload(bool fastpath, bool faulty, const char* tag) {
   const uint64_t decided = stats.fastpath_hits + stats.fastpath_misses;
   out.hit_rate = decided == 0 ? 0.0 : static_cast<double>(stats.fastpath_hits) / decided;
   out.plan_builds = stats.plan_builds;
+  uint64_t total_read_work = 0;
+  for (int h = 0; h < 4; ++h) {
+    const RepresentativeStats& rs =
+        cluster.representative("srv-" + std::to_string(h))->stats();
+    out.polls[h] = rs.version_polls;
+    out.data_reads[h] = rs.data_reads;
+    total_read_work += rs.version_polls + rs.data_reads;
+  }
+  for (int h = 0; h < 4 && total_read_work > 0; ++h) {
+    const double share =
+        static_cast<double>(out.polls[h] + out.data_reads[h]) / total_read_work;
+    out.max_share = std::max(out.max_share, share);
+  }
   DumpMetrics(cluster.metrics(), g_metrics, tag);
   CollectChromeTrace(cluster, tag);
   return out;
+}
+
+// One attribution line per run: where read work (version polls + explicit
+// data reads) actually landed, host by host. This is the raw view of the
+// probe-share gauges E14's strategies optimize.
+void PrintAttribution(const char* name, const char* mode, const RunResult& r) {
+  std::printf("%-8s %-8s |", name, mode);
+  uint64_t total = 0;
+  for (int h = 0; h < 4; ++h) {
+    total += r.polls[h] + r.data_reads[h];
+  }
+  for (int h = 0; h < 4; ++h) {
+    const uint64_t work = r.polls[h] + r.data_reads[h];
+    const double share = total == 0 ? 0.0 : static_cast<double>(work) / total;
+    std::printf("  srv-%d %5.1f%% (%llu+%llu)", h, 100.0 * share,
+                static_cast<unsigned long long>(r.polls[h]),
+                static_cast<unsigned long long>(r.data_reads[h]));
+  }
+  std::printf("\n");
 }
 
 void PrintScenario(const char* name, bool faulty) {
@@ -138,16 +181,18 @@ void PrintScenario(const char* name, bool faulty) {
                                (std::string("baseline-") + name).c_str());
   RunResult fast = RunWorkload(/*fastpath=*/true, faulty,
                                (std::string("fastpath-") + name).c_str());
-  std::printf("%-8s baseline | %8.2fms %8.2fms %8.2fms | %7.1f %9.0f | %7s | %llu\n", name,
-              base.reads.Mean().ToMillis(), base.reads.Percentile(50).ToMillis(),
+  std::printf("%-8s baseline | %8.2fms %8.2fms %8.2fms | %7.1f %9.0f | %7s | %5.2f | %llu\n",
+              name, base.reads.Mean().ToMillis(), base.reads.Percentile(50).ToMillis(),
               base.reads.Percentile(99).ToMillis(), base.messages_per_read,
-              base.bytes_per_read, "-",
+              base.bytes_per_read, "-", base.max_share,
               static_cast<unsigned long long>(base.plan_builds));
-  std::printf("%-8s fastpath | %8.2fms %8.2fms %8.2fms | %7.1f %9.0f | %6.1f%% | %llu\n", name,
-              fast.reads.Mean().ToMillis(), fast.reads.Percentile(50).ToMillis(),
+  std::printf("%-8s fastpath | %8.2fms %8.2fms %8.2fms | %7.1f %9.0f | %6.1f%% | %5.2f | %llu\n",
+              name, fast.reads.Mean().ToMillis(), fast.reads.Percentile(50).ToMillis(),
               fast.reads.Percentile(99).ToMillis(), fast.messages_per_read,
-              fast.bytes_per_read, 100.0 * fast.hit_rate,
+              fast.bytes_per_read, 100.0 * fast.hit_rate, fast.max_share,
               static_cast<unsigned long long>(fast.plan_builds));
+  PrintAttribution(name, "baseline", base);
+  PrintAttribution(name, "fastpath", fast);
 }
 
 }  // namespace
@@ -160,9 +205,9 @@ int main(int argc, char** argv) {
   std::printf("E10: fast-path reads — piggybacked data on version probes\n");
   std::printf("(4 reps, votes 2,1,1,1, r=2, w=4; %d reads per run, 10:1 read:write)\n\n",
               g_reads);
-  std::printf("%-17s | %10s %10s %10s | %11s %9s | %7s | plan builds\n", "scenario",
-              "read mean", "p50", "p99", "msgs/read", "bytes/read", "hits");
-  PrintRule(100);
+  std::printf("%-17s | %10s %10s %10s | %11s %9s | %7s | %5s | plan builds\n", "scenario",
+              "read mean", "p50", "p99", "msgs/read", "bytes/read", "hits", "max");
+  PrintRule(108);
   PrintScenario("steady", /*faulty=*/false);
   PrintScenario("faulty", /*faulty=*/true);
   std::printf(
@@ -170,7 +215,10 @@ int main(int argc, char** argv) {
       "representative (half the baseline's two), hit rate well above 90%%; the faulty\n"
       "run keeps every read current, paying the explicit fetch only when the\n"
       "piggyback target is down or stale. plan builds count post-warmup rebuilds:\n"
-      "0 means the quorum plan cached at the seeding write served every operation.\n");
+      "0 means the quorum plan cached at the seeding write served every operation.\n"
+      "max is the busiest host's share of read work (per-host lines show polls+data\n"
+      "reads): cheapest-first concentrates it on srv-0 — E14 shows what sampled\n"
+      "strategies buy back.\n");
   WriteChromeTrace();
   return 0;
 }

@@ -119,6 +119,32 @@ Task<bool> RunFinalRead(SuiteClient* client, HistoryRecorder* recorder) {
   co_return st.ok();
 }
 
+// Rotates every workload client's probing policy on a fixed cadence for the
+// duration of the fault schedule. Each switch retunes the plan cache (new
+// tuning -> rebuild) while operations are in flight; in-flight gathers keep
+// their snapshotted strategy (shared_ptr), new operations pick up the next
+// policy. `*rotations` counts applied switches.
+Task<void> RotateStrategies(Simulator* sim, std::vector<SuiteClient*> clients,
+                            Duration horizon, uint64_t* rotations) {
+  static constexpr QuorumStrategy kCycle[] = {
+      QuorumStrategy::kLowestLatency,
+      QuorumStrategy::kUniformSpread,
+      QuorumStrategy::kLoadOptimal,
+      QuorumStrategy::kFewestMessages,
+  };
+  const TimePoint end = sim->Now() + horizon;
+  const Duration step = Duration::Micros(horizon.ToMicros() / 8);
+  size_t next = 0;
+  while (sim->Now() + step < end) {
+    co_await sim->Sleep(step);
+    const QuorumStrategy policy = kCycle[next++ % (sizeof(kCycle) / sizeof(kCycle[0]))];
+    for (SuiteClient* client : clients) {
+      client->SetStrategySpec(policy);
+    }
+    ++*rotations;
+  }
+}
+
 SuiteConfig BuildConfig(const ChaosSuiteSpec& suite) {
   SuiteConfig config;
   config.suite_name = kSuiteName;
@@ -215,6 +241,11 @@ ChaosRunOutcome RunChaosWithSchedule(const ChaosRunSpec& spec,
                             spec.ops_per_client, spec.write_fraction,
                             spec.seed * 1000003u + static_cast<uint64_t>(c)));
   }
+  uint64_t strategy_rotations = 0;
+  if (spec.rotate_strategies) {
+    // Workload clients only: the convergence observer stays on broadcast.
+    Spawn(RotateStrategies(&cluster.sim(), clients, spec.horizon, &strategy_rotations));
+  }
 
   // Drain the workload, the schedule, and every background convergence
   // mechanism (retriers, in-doubt watchdogs). Bounded, so a retrier parked
@@ -232,6 +263,7 @@ ChaosRunOutcome RunChaosWithSchedule(const ChaosRunSpec& spec,
   outcome.nemesis_events_applied = nemesis.events_applied();
   outcome.nemesis_crashes = nemesis.stats().crashes;
   outcome.nemesis_phase_crashes = nemesis.stats().phase_crashes;
+  outcome.strategy_rotations = strategy_rotations;
   outcome.check = CheckHistory(outcome.history, outcome.initial_contents);
   outcome.final_read_ok = final_done.value_or(false);
   if (!outcome.final_read_ok) {
@@ -290,11 +322,12 @@ std::string DumpArtifact(const ChaosRunSpec& spec, const FaultSchedule& schedule
   std::snprintf(header, sizeof(header),
                 "spec seed=%" PRIu64
                 " template=%s suite=%s votes=%s r=%d w=%d unsafe=%d clients=%d ops=%d "
-                "write_fraction=%.9g horizon_us=%" PRId64 "\n",
+                "write_fraction=%.9g horizon_us=%" PRId64 " rotate=%d\n",
                 spec.seed, spec.schedule_template.c_str(), spec.suite.name.c_str(),
                 JoinVotes(spec.suite.votes).c_str(), spec.suite.read_quorum,
                 spec.suite.write_quorum, spec.suite.unsafe ? 1 : 0, spec.clients,
-                spec.ops_per_client, spec.write_fraction, spec.horizon.ToMicros());
+                spec.ops_per_client, spec.write_fraction, spec.horizon.ToMicros(),
+                spec.rotate_strategies ? 1 : 0);
   std::string out = header;
   out += schedule.Serialize();
   out += "--- report (everything below is ignored on replay)\n";
@@ -362,6 +395,9 @@ Result<ChaosReplayFile> ParseArtifact(const std::string& text) {
       file.spec.ops_per_client = std::atoi(kv["ops"].c_str());
       file.spec.write_fraction = std::strtod(kv["write_fraction"].c_str(), nullptr);
       file.spec.horizon = Duration::Micros(std::strtoll(kv["horizon_us"].c_str(), nullptr, 10));
+      // Optional (absent in artifacts dumped before strategy rotation
+      // existed; those replay with rotation off, matching their run).
+      file.spec.rotate_strategies = kv.count("rotate") != 0 && kv["rotate"] == "1";
       saw_spec = true;
     } else if (!line.empty()) {
       schedule_text += line;

@@ -55,6 +55,12 @@ struct ChaosRunSpec {
   double write_fraction = 0.4;
   Duration horizon = Duration::Seconds(8);
   bool collect_trace = false;  // also capture the causal span trace
+  // Cycle every workload client through the quorum probing policies
+  // (cheapest -> uniform -> load-optimal -> fewest-messages) while the
+  // nemesis runs. The consistency spec (R-VALUE, RW-ORDER) must hold across
+  // every switch: strategies only change *which* current representatives a
+  // quorum is gathered from, never the quorum arithmetic itself.
+  bool rotate_strategies = false;
 };
 
 struct ChaosRunOutcome {
@@ -66,6 +72,7 @@ struct ChaosRunOutcome {
   uint64_t nemesis_events_applied = 0;
   uint64_t nemesis_crashes = 0;        // scheduled + phase-targeted crashes
   uint64_t nemesis_phase_crashes = 0;  // crash-on-trace one-shots that fired
+  uint64_t strategy_rotations = 0;     // mid-run policy switches applied
   std::string metrics_json;   // registry snapshot at run end
   std::string chrome_trace;   // traceEvents bodies (collect_trace only)
 };

@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "src/common/check.h"
+#include "src/core/strategy_solver.h"
+#include "src/net/network.h"
+#include "src/sim/random.h"
 
 namespace wvote {
 
@@ -14,9 +17,47 @@ const char* QuorumStrategyName(QuorumStrategy s) {
       return "fewest-messages";
     case QuorumStrategy::kBroadcast:
       return "broadcast";
+    case QuorumStrategy::kUniformSpread:
+      return "uniform-spread";
+    case QuorumStrategy::kLoadOptimal:
+      return "load-optimal";
   }
   return "?";
 }
+
+// ---------------------------------------------------------------------------
+// HostLinkCache
+// ---------------------------------------------------------------------------
+
+HostId HostLinkCache::Resolve(const std::string& name) {
+  Entry& entry = entries_[name];
+  if (entry.id == kInvalidHost) {
+    Host* host = net_->FindHost(name);
+    WVOTE_CHECK_MSG(host != nullptr, "unknown representative host");
+    entry.id = host->id();
+  }
+  return entry.id;
+}
+
+Duration HostLinkCache::LatencyTo(const std::string& name) {
+  const HostId there = Resolve(name);
+  Entry& entry = entries_[name];
+  if (!entry.have_latency) {
+    entry.latency = net_->ExpectedLatency(self_, there) + net_->ExpectedLatency(there, self_);
+    entry.have_latency = true;
+  }
+  return entry.latency;
+}
+
+void HostLinkCache::InvalidateLatencies() {
+  for (auto& [name, entry] : entries_) {
+    entry.have_latency = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QuorumPlanner
+// ---------------------------------------------------------------------------
 
 QuorumPlanner::QuorumPlanner(const SuiteConfig& config,
                              std::function<Duration(const std::string&)> latency_of) {
@@ -35,6 +76,11 @@ std::vector<QuorumCandidate> QuorumPlanner::Plan(int required_votes,
   switch (strategy) {
     case QuorumStrategy::kLowestLatency:
     case QuorumStrategy::kBroadcast:
+    case QuorumStrategy::kUniformSpread:
+    case QuorumStrategy::kLoadOptimal:
+      // Probabilistic policies use the latency order as their base: a
+      // sampled quorum's members probe cheapest-first, and widening after
+      // failures follows the same order deterministic probing would.
       std::stable_sort(plan.begin(), plan.end(),
                        [](const QuorumCandidate& a, const QuorumCandidate& b) {
                          if (a.expected_latency != b.expected_latency) {
@@ -76,37 +122,145 @@ Duration QuorumPlanner::PrefixLatency(const std::vector<QuorumCandidate>& plan, 
   return worst;
 }
 
+// ---------------------------------------------------------------------------
+// ProbingStrategy
+// ---------------------------------------------------------------------------
+
+const QuorumDistribution* ProbingStrategy::DistributionFor(int required_votes) const {
+  if (read_dist.valid() && read_dist.target_votes == required_votes) {
+    return &read_dist;
+  }
+  if (write_dist.valid() && write_dist.target_votes == required_votes) {
+    return &write_dist;
+  }
+  return nullptr;
+}
+
+std::vector<uint16_t> ProbingStrategy::SampleOrder(int required_votes, Rng* rng) const {
+  const QuorumDistribution* dist = DistributionFor(required_votes);
+  if (dist == nullptr) {
+    return {};
+  }
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(dist->cumulative.begin(), dist->cumulative.end(), u);
+  const size_t pick = it == dist->cumulative.end()
+                          ? dist->cumulative.size() - 1
+                          : static_cast<size_t>(it - dist->cumulative.begin());
+  const std::vector<uint16_t>& members = dist->quorums[pick];
+  std::vector<uint16_t> out;
+  out.reserve(order.size());
+  out.insert(out.end(), members.begin(), members.end());
+  // Remaining candidates, in base (latency) order, as widening fallbacks.
+  size_t m = 0;
+  for (uint16_t i = 0; i < static_cast<uint16_t>(order.size()); ++i) {
+    if (m < members.size() && members[m] == i) {
+      ++m;
+      continue;
+    }
+    out.push_back(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache
+// ---------------------------------------------------------------------------
+
+namespace {
+
+QuorumDistribution BuildDistribution(const std::vector<QuorumCandidate>& order,
+                                     const QuorumStrategySpec& spec, int target_votes) {
+  QuorumDistribution out;
+  out.target_votes = target_votes;
+  if (order.empty() || order.size() > kMaxStrategyHosts) {
+    return out;  // fall back to deterministic probing
+  }
+  std::vector<int> votes;
+  votes.reserve(order.size());
+  for (const QuorumCandidate& c : order) {
+    votes.push_back(c.votes);
+  }
+  std::vector<StrategyQuorum> quorums = EnumerateMinimalQuorums(votes, target_votes);
+  if (quorums.empty()) {
+    return out;
+  }
+  std::vector<double> capacities;
+  if (!spec.capacities.empty()) {
+    capacities.reserve(order.size());
+    for (const QuorumCandidate& c : order) {
+      const auto it = spec.capacities.find(c.host_name);
+      capacities.push_back(it == spec.capacities.end() ? 1.0 : it->second);
+    }
+  }
+  StrategySolution solution =
+      spec.policy == QuorumStrategy::kLoadOptimal
+          ? SolveLoadOptimal(quorums, order.size(), capacities, spec.f_resilience)
+          : SolveUniform(quorums, order.size(), capacities);
+
+  out.quorums.reserve(quorums.size());
+  out.cumulative.reserve(quorums.size());
+  double acc = 0;
+  for (size_t q = 0; q < quorums.size(); ++q) {
+    out.quorums.push_back(quorums[q].members);
+    acc += solution.probability[q];
+    out.cumulative.push_back(acc);
+  }
+  out.cumulative.back() = 1.0;  // absorb rounding
+  out.shares = std::move(solution.shares);
+  out.max_share = solution.max_share;
+  out.share_lower_bound = solution.share_lower_bound;
+  return out;
+}
+
+}  // namespace
+
 PlanCache::PlanCache(std::function<Duration(const std::string&)> latency_of,
                      uint64_t* build_counter)
     : latency_of_(std::move(latency_of)), build_counter_(build_counter) {}
 
-std::shared_ptr<const std::vector<QuorumCandidate>> PlanCache::Get(const SuiteConfig& config,
-                                                                   QuorumStrategy strategy) {
-  if (!have_config_version_ || config.config_version != config_version_) {
+std::shared_ptr<const ProbingStrategy> PlanCache::Get(const SuiteConfig& config,
+                                                      const QuorumStrategySpec& spec) {
+  if (!have_config_version_ || config.config_version != config_version_ ||
+      !cached_tuning_.SameTuning(spec)) {
     Invalidate();
     have_config_version_ = true;
     config_version_ = config.config_version;
+    cached_tuning_ = spec;
   }
-  const size_t slot = static_cast<size_t>(strategy);
+  const size_t slot = static_cast<size_t>(spec.policy);
   WVOTE_CHECK(slot < kNumStrategies);
-  if (plans_[slot] == nullptr) {
+  if (strategies_[slot] == nullptr) {
     // The preference order is independent of the vote target (see Plan);
     // the planner itself is rebuilt per config version so latencies are
     // re-sampled whenever the membership can have changed.
     QuorumPlanner planner(config, latency_of_);
-    plans_[slot] = std::make_shared<const std::vector<QuorumCandidate>>(
-        planner.Plan(/*required_votes=*/0, strategy));
+    auto strategy = std::make_shared<ProbingStrategy>();
+    strategy->order = planner.Plan(/*required_votes=*/0, spec.policy);
+    if (spec.policy == QuorumStrategy::kUniformSpread ||
+        spec.policy == QuorumStrategy::kLoadOptimal) {
+      strategy->read_dist = BuildDistribution(strategy->order, spec, config.read_quorum);
+      if (config.write_quorum != config.read_quorum) {
+        strategy->write_dist = BuildDistribution(strategy->order, spec, config.write_quorum);
+      }
+    }
+    strategies_[slot] = std::move(strategy);
     if (build_counter_ != nullptr) {
       ++*build_counter_;
     }
   }
-  return plans_[slot];
+  return strategies_[slot];
+}
+
+std::shared_ptr<const ProbingStrategy> PlanCache::Peek(QuorumStrategy policy) const {
+  const size_t slot = static_cast<size_t>(policy);
+  WVOTE_CHECK(slot < kNumStrategies);
+  return strategies_[slot];
 }
 
 void PlanCache::Invalidate() {
   have_config_version_ = false;
   for (size_t i = 0; i < kNumStrategies; ++i) {
-    plans_[i] = nullptr;
+    strategies_[i] = nullptr;
   }
 }
 

@@ -1,4 +1,5 @@
-// Quorum planning: which representatives to probe, in what order.
+// Quorum planning: which representatives to probe, in what order — and,
+// for probabilistic policies, drawn from which distribution.
 //
 // A gather of q votes completes when the slowest probed representative
 // answers, so the latency-optimal quorum takes representatives in ascending
@@ -6,7 +7,7 @@
 // the max-latency objective: any quorum must contain >= k members where k is
 // the greedy prefix length... see quorum_test.cc for the property check).
 //
-// Strategies:
+// Deterministic policies (every operation probes the same preferred prefix):
 //   kLowestLatency  — ascending latency (Gifford's "cheapest representatives
 //                     first"); minimizes gather completion time.
 //   kFewestMessages — descending votes (ties by latency); minimizes probe
@@ -14,25 +15,75 @@
 //   kBroadcast      — probe everyone; maximizes tolerance of unexpected
 //                     failures at maximal message cost.
 //
+// Probabilistic policies (each operation samples a minimal quorum from a
+// precomputed distribution — Whittaker et al.'s "strategies", built by
+// src/core/strategy_solver.h):
+//   kUniformSpread  — uniform over all minimal quorums; breaks the
+//                     fixed-prefix hotspot with zero tuning.
+//   kLoadOptimal    — minimax per-host load, optionally capacity-weighted
+//                     and f-resilient; maximizes the fleet's throughput
+//                     ceiling.
+//
 // The planner returns the full preference order; callers probe a prefix and
-// extend it when members fail to answer.
+// extend it when members fail to answer. Probabilistic policies reorder so
+// the sampled quorum *is* the prefix and every other representative remains
+// as a widening fallback — availability is never worse than deterministic
+// probing, only the steady-state distribution changes.
 
 #ifndef WVOTE_SRC_CORE_QUORUM_H_
 #define WVOTE_SRC_CORE_QUORUM_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/time.h"
 #include "src/core/suite_config.h"
+#include "src/net/message.h"
 
 namespace wvote {
 
-enum class QuorumStrategy { kLowestLatency, kFewestMessages, kBroadcast };
+class Network;
+class Rng;
+
+enum class QuorumStrategy {
+  kLowestLatency,
+  kFewestMessages,
+  kBroadcast,
+  kUniformSpread,
+  kLoadOptimal,
+};
 
 const char* QuorumStrategyName(QuorumStrategy s);
+
+// Full probing policy: which strategy, tuned how. Implicitly constructible
+// from a bare QuorumStrategy so `options.strategy = kBroadcast` keeps
+// working; the tuning fields only matter to the probabilistic policies.
+struct QuorumStrategySpec {
+  QuorumStrategy policy = QuorumStrategy::kLowestLatency;
+  // Relative probe capacity per representative host (any positive units;
+  // hosts absent default to 1.0). kLoadOptimal divides each host's load by
+  // its capacity, so a host listed at 2.0 absorbs twice the probes of one
+  // at 1.0 before counting as equally busy.
+  std::map<std::string, double> capacities;
+  // Keep the sampled strategy feasible with any f representatives removed
+  // (a support floor over every minimal quorum; see strategy_solver.h).
+  int f_resilience = 0;
+
+  QuorumStrategySpec() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): enum spells the common case
+  QuorumStrategySpec(QuorumStrategy p) : policy(p) {}
+
+  // Equality of the tuning knobs shared by every policy slot (capacities,
+  // resilience). A tuning change invalidates cached strategies even when
+  // config_version did not move.
+  bool SameTuning(const QuorumStrategySpec& other) const {
+    return f_resilience == other.f_resilience && capacities == other.capacities;
+  }
+};
 
 // Carries a user-declared constructor per the GCC 12 rule in src/sim/task.h
 // (QuorumCandidate is passed by value into probe coroutines).
@@ -47,6 +98,31 @@ struct QuorumCandidate {
       : rep_index(index), host_name(std::move(host)), votes(v), expected_latency(latency) {}
 };
 
+// Shared host-name -> (HostId, round-trip latency) lookup. Host names never
+// remap in the simulated network, so ids memoize forever; latencies memoize
+// until InvalidateLatencies() (plan-cache invalidation re-samples them).
+// One instance per client serves probe resolution, plan building, and
+// strategy solving, instead of each keeping its own map.
+class HostLinkCache {
+ public:
+  HostLinkCache(Network* net, HostId self) : net_(net), self_(self) {}
+
+  HostId Resolve(const std::string& name);
+  Duration LatencyTo(const std::string& name);  // round trip: there and back
+  void InvalidateLatencies();
+
+ private:
+  struct Entry {
+    HostId id = kInvalidHost;
+    bool have_latency = false;
+    Duration latency;
+  };
+
+  Network* net_;
+  HostId self_;
+  std::map<std::string, Entry> entries_;
+};
+
 class QuorumPlanner {
  public:
   // `latency_of` maps a representative's host name to the client's expected
@@ -57,7 +133,9 @@ class QuorumPlanner {
   // Full preference order of voting representatives for a gather needing
   // `required_votes`. Weak representatives are never included. The order
   // depends only on the strategy (required_votes names the caller's goal;
-  // callers probe a prefix and widen on failure).
+  // callers probe a prefix and widen on failure). Probabilistic policies
+  // use the kLowestLatency order as their base (sampling happens in
+  // ProbingStrategy, not here).
   std::vector<QuorumCandidate> Plan(int required_votes, QuorumStrategy strategy) const;
 
   // Length of the shortest prefix of `plan` whose votes reach
@@ -72,36 +150,79 @@ class QuorumPlanner {
   std::vector<QuorumCandidate> voting_;
 };
 
-// Memoizes QuorumPlanner plans per (config_version, strategy) so a client
-// builds its latency-sorted preference order once per configuration instead
-// of once per operation. Latencies are sampled when a config version's
-// planner is first built; call Invalidate() if link costs change out of
-// band (reconfiguration is handled automatically via config_version).
+// A precomputed distribution over minimal quorums for one vote target.
+// `quorums[i]` lists indices into ProbingStrategy::order, ascending (so
+// members are already in latency order); `cumulative` is the sampling CDF.
+struct QuorumDistribution {
+  int target_votes = 0;
+  std::vector<std::vector<uint16_t>> quorums;
+  std::vector<double> cumulative;
+  std::vector<double> shares;  // expected probe share per order index
+  double max_share = 1.0;
+  double share_lower_bound = 0.0;
+
+  bool valid() const { return !quorums.empty(); }
+};
+
+// What PlanCache hands out: the deterministic preference order plus, for
+// probabilistic policies, one distribution per quorum target (read and
+// write). Immutable once built; shared ownership keeps it alive for gathers
+// suspended across a cache invalidation.
+struct ProbingStrategy {
+  std::vector<QuorumCandidate> order;
+  QuorumDistribution read_dist;
+  QuorumDistribution write_dist;
+
+  bool probabilistic() const { return read_dist.valid() || write_dist.valid(); }
+
+  // The distribution whose target matches `required_votes`, else nullptr
+  // (deterministic policies; reconfiguration under an old write target).
+  const QuorumDistribution* DistributionFor(int required_votes) const;
+
+  // Per-operation probe order as indices into `order`: the sampled quorum's
+  // members first (ascending latency), then every remaining candidate as
+  // widening fallbacks. Empty when no distribution matches — callers then
+  // use `order` unchanged, and `rng` is NOT consumed (deterministic-policy
+  // replays stay bit-exact with pre-strategy builds).
+  std::vector<uint16_t> SampleOrder(int required_votes, Rng* rng) const;
+};
+
+// Memoizes ProbingStrategy per (config_version, tuning, policy) so a client
+// builds its preference order — and, for probabilistic policies, solves its
+// quorum distribution — once per configuration instead of once per
+// operation. Latencies are sampled when a config version's planner is first
+// built; call Invalidate() if link costs change out of band
+// (reconfiguration is handled automatically via config_version, and a
+// tuning change — capacities, f_resilience — invalidates even without a
+// version bump).
 class PlanCache {
  public:
   // `latency_of` as in QuorumPlanner. If `build_counter` is non-null it is
-  // incremented once per plan actually built (cache misses only).
+  // incremented once per strategy actually built (cache misses only).
   PlanCache(std::function<Duration(const std::string&)> latency_of,
             uint64_t* build_counter = nullptr);
 
-  // Cached preference order for `config` under `strategy`; built on first
-  // use and whenever config.config_version changes. Shared ownership: a
-  // caller suspended mid-gather keeps its plan alive even if the cache is
-  // invalidated underneath it.
-  std::shared_ptr<const std::vector<QuorumCandidate>> Get(const SuiteConfig& config,
-                                                          QuorumStrategy strategy);
+  // Cached strategy for `config` under `spec`; built on first use and
+  // whenever config.config_version or the spec's tuning changes.
+  std::shared_ptr<const ProbingStrategy> Get(const SuiteConfig& config,
+                                             const QuorumStrategySpec& spec);
 
-  // Drops every cached plan (and the planner's sampled latencies).
+  // The cached strategy for `policy` if one is built, else nullptr. Never
+  // builds — safe for metrics gauges read at snapshot time.
+  std::shared_ptr<const ProbingStrategy> Peek(QuorumStrategy policy) const;
+
+  // Drops every cached strategy (and the planner's sampled latencies).
   void Invalidate();
 
  private:
-  static constexpr size_t kNumStrategies = 3;
+  static constexpr size_t kNumStrategies = 5;
 
   std::function<Duration(const std::string&)> latency_of_;
   uint64_t* build_counter_;
   bool have_config_version_ = false;
   uint64_t config_version_ = 0;
-  std::shared_ptr<const std::vector<QuorumCandidate>> plans_[kNumStrategies];
+  QuorumStrategySpec cached_tuning_;
+  std::shared_ptr<const ProbingStrategy> strategies_[kNumStrategies];
 };
 
 }  // namespace wvote

@@ -198,14 +198,16 @@ void RepresentativeServer::RegisterHandlers() {
 
   rpc_.HandleTraced<RefreshReq, RefreshResp>(
       [this](HostId from, RefreshReq req, TraceContext ctx) -> Task<Result<RefreshResp>> {
-        // Best-effort conditional install under a short-lived local
+        // Best-effort conditional install under a short-lived local courtesy
         // transaction so refreshes never cut ahead of client locks. The
-        // refresh transaction gets the oldest possible timestamp: under
-        // wait-die that lets it WAIT for the current holder (typically the
-        // very reader that spawned it, about to release) instead of dying.
-        // It locks a single key, so it can never participate in a deadlock.
+        // courtesy timestamp is older than any client's: under wait-die the
+        // refresh WAITS for the current holder (typically the very reader
+        // that spawned it, about to release) instead of dying, and clients
+        // that hit the brief install window wait rather than abort (see
+        // LockManager::MustDie). It locks a single key and acquires nothing
+        // further while holding it, so it can never join a deadlock cycle.
         TxnId txn;
-        txn.timestamp_us = 0;
+        txn.timestamp_us = TxnId::kCourtesyTimestamp;
         txn.serial = refresh_serial_++;
         txn.coordinator = rpc_.host_id();
         const std::string key = SuiteValueKey(req.suite);

@@ -1,6 +1,7 @@
 #include "src/core/suite_client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/common/backoff.h"
@@ -117,9 +118,10 @@ SuiteClient::SuiteClient(Network* net, RpcEndpoint* rpc, Coordinator* coordinato
       rpc_(rpc),
       coordinator_(coordinator),
       config_(std::move(config)),
-      options_(options),
+      options_(std::move(options)),
       plan_cache_([this](const std::string& name) { return LatencyTo(name); },
-                  &stats_.plan_builds) {
+                  &stats_.plan_builds),
+      links_(net, rpc->host_id()) {
   WVOTE_CHECK_MSG(config_.Validate().ok(), "invalid suite config");
 }
 
@@ -148,8 +150,93 @@ void SuiteClientStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
 }
 
 void SuiteClient::RegisterMetrics(MetricsRegistry* registry) {
-  stats_.RegisterWith(registry, {{"host", rpc_->host()->name()},
-                                 {"suite", config_.suite_name}});
+  const MetricLabels labels = {{"host", rpc_->host()->name()},
+                               {"suite", config_.suite_name}};
+  stats_.RegisterWith(registry, labels);
+  // Planner load gauges: where this client's probes actually land. Labeled
+  // by client host so several clients' views never sum into nonsense;
+  // fleet-wide skew is read from the representative-side counters.
+  for (const RepresentativeInfo& rep : config_.representatives) {
+    if (rep.weak()) {
+      continue;
+    }
+    MetricLabels rep_labels = labels;
+    rep_labels["rep"] = rep.host_name;
+    registry->RegisterGauge("core.planner.probe_share", rep_labels,
+                            [this, name = rep.host_name]() { return ProbeShareOf(name); });
+  }
+  registry->RegisterGauge("core.planner.load_max_share", labels,
+                          [this]() { return MaxProbeShare(); });
+  registry->RegisterGauge("core.planner.load_imbalance", labels,
+                          [this]() { return ProbeShareGini(); });
+  registry->RegisterGauge("core.planner.expected_max_share", labels,
+                          [this]() { return ExpectedMaxShare(); });
+  registry->AddResetHook([this]() { probe_counts_.clear(); });
+}
+
+double SuiteClient::ProbeShareOf(const std::string& host) const {
+  uint64_t total = 0;
+  for (const auto& [name, count] : probe_counts_) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const auto it = probe_counts_.find(host);
+  return it == probe_counts_.end()
+             ? 0.0
+             : static_cast<double>(it->second) / static_cast<double>(total);
+}
+
+double SuiteClient::MaxProbeShare() const {
+  uint64_t total = 0;
+  uint64_t max = 0;
+  for (const auto& [name, count] : probe_counts_) {
+    total += count;
+    max = std::max(max, count);
+  }
+  return total == 0 ? 0.0 : static_cast<double>(max) / static_cast<double>(total);
+}
+
+double SuiteClient::ProbeShareGini() const {
+  // Gini over the probe shares of every *voting* representative, counting
+  // never-probed members as zero — a plan that starves three of four reps
+  // should read as imbalanced even though only one host shows up in
+  // probe_counts_.
+  std::vector<double> counts;
+  for (const RepresentativeInfo& rep : config_.representatives) {
+    if (rep.weak()) {
+      continue;
+    }
+    const auto it = probe_counts_.find(rep.host_name);
+    counts.push_back(it == probe_counts_.end() ? 0.0 : static_cast<double>(it->second));
+  }
+  double total = 0;
+  for (double c : counts) {
+    total += c;
+  }
+  if (counts.empty() || total == 0) {
+    return 0.0;
+  }
+  double abs_diffs = 0;
+  for (double a : counts) {
+    for (double b : counts) {
+      abs_diffs += std::abs(a - b);
+    }
+  }
+  return abs_diffs / (2.0 * static_cast<double>(counts.size()) * total);
+}
+
+double SuiteClient::ExpectedMaxShare() const {
+  const std::shared_ptr<const ProbingStrategy> strategy =
+      plan_cache_.Peek(options_.strategy.policy);
+  if (strategy == nullptr) {
+    return 0.0;
+  }
+  if (strategy->read_dist.valid()) {
+    return strategy->read_dist.max_share;
+  }
+  return 1.0;  // deterministic plan: the whole preferred prefix every op
 }
 
 SuiteTransaction SuiteClient::Begin(TraceContext parent) {
@@ -170,25 +257,17 @@ SuiteTransaction SuiteClient::Begin(TraceContext parent) {
 }
 
 HostId SuiteClient::ResolveHost(const std::string& name) const {
-  auto it = host_ids_.find(name);
-  if (it != host_ids_.end()) {
-    return it->second;
-  }
-  Host* host = net_->FindHost(name);
-  WVOTE_CHECK_MSG(host != nullptr, "unknown representative host");
-  host_ids_.emplace(name, host->id());
-  return host->id();
+  return links_.Resolve(name);
 }
 
 Duration SuiteClient::LatencyTo(const std::string& name) const {
-  const HostId there = ResolveHost(name);
-  return net_->ExpectedLatency(rpc_->host_id(), there) +
-         net_->ExpectedLatency(there, rpc_->host_id());
+  return links_.LatencyTo(name);
 }
 
-std::shared_ptr<const std::vector<QuorumCandidate>> SuiteClient::PlanFor(
-    QuorumStrategy strategy) {
-  return plan_cache_.Get(config_, strategy);
+std::shared_ptr<const ProbingStrategy> SuiteClient::PlanFor(QuorumStrategy policy) {
+  QuorumStrategySpec spec = options_.strategy;
+  spec.policy = policy;
+  return plan_cache_.Get(config_, spec);
 }
 
 void SuiteClient::NoteVersion(const std::string& host_name, Version version) {
@@ -224,9 +303,16 @@ size_t SuiteClient::PickFastPathTarget(const std::vector<QuorumCandidate>& targe
 Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
     std::shared_ptr<SuiteTransaction::State> state, int required_votes, bool exclusive,
     bool want_data) {
-  const std::shared_ptr<const std::vector<QuorumCandidate>> plan_ref =
-      PlanFor(options_.strategy);
-  const std::vector<QuorumCandidate>& plan = *plan_ref;
+  const std::shared_ptr<const ProbingStrategy> strategy_ref =
+      PlanFor(options_.strategy.policy);
+  const std::vector<QuorumCandidate>& plan = strategy_ref->order;
+  // Probabilistic policies draw this operation's quorum from the cached
+  // distribution; `sampled` then maps probe position -> index into `plan`
+  // (quorum members first, the rest as widening fallbacks). Deterministic
+  // policies get an empty sample and consume no randomness, so replays of
+  // pre-strategy schedules stay bit-exact.
+  const std::vector<uint16_t> sampled =
+      strategy_ref->SampleOrder(required_votes, &net_->sim()->rng());
 
   Tracer* tracer = net_->tracer();
   TraceContext gather_span;
@@ -246,9 +332,12 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
     std::vector<QuorumCandidate> targets;
     int planned_votes = out.votes;
     while (next_candidate < plan.size() &&
-           (options_.strategy == QuorumStrategy::kBroadcast || planned_votes < required_votes)) {
-      targets.push_back(plan[next_candidate]);
-      planned_votes += plan[next_candidate].votes;
+           (options_.strategy.policy == QuorumStrategy::kBroadcast ||
+            planned_votes < required_votes)) {
+      const QuorumCandidate& pick =
+          sampled.empty() ? plan[next_candidate] : plan[sampled[next_candidate]];
+      targets.push_back(pick);
+      planned_votes += pick.votes;
       ++next_candidate;
     }
     if (targets.empty()) {
@@ -269,6 +358,7 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
       QuorumCandidate& candidate = targets[i];
       const HostId host = ResolveHost(candidate.host_name);
       ++stats_.probes_sent;
+      ++probe_counts_[candidate.host_name];
       state->probed.insert(host);
       probes.push_back(SendProbe(rpc_, host, std::move(candidate), state->txn,
                                  config_.suite_name, exclusive, i == fastpath_target,
@@ -428,7 +518,7 @@ void SuiteClient::SpawnRefreshes(const GatherResult& gather, Version current,
                         options_.data_timeout));
     }
   }
-  if (options_.strategy == QuorumStrategy::kBroadcast) {
+  if (options_.strategy.policy == QuorumStrategy::kBroadcast) {
     for (const RepresentativeInfo& rep : config_.representatives) {
       if (rep.weak()) {
         continue;
@@ -709,12 +799,12 @@ Task<Status> SuiteClient::RefreshConfigFromPrefix() {
   ++stats_.config_refreshes;
   // Ask every voting representative (lock-free) which prefix version it
   // holds, then fetch the newest prefix.
-  const std::shared_ptr<const std::vector<QuorumCandidate>> plan =
+  const std::shared_ptr<const ProbingStrategy> strategy =
       PlanFor(QuorumStrategy::kBroadcast);
 
   uint64_t best_version = config_.config_version;
   HostId best_host = kInvalidHost;
-  for (const QuorumCandidate& candidate : *plan) {
+  for (const QuorumCandidate& candidate : strategy->order) {
     const HostId host = ResolveHost(candidate.host_name);
     Result<VersionResp> resp = co_await rpc_->Call<VersionInquiryReq, VersionResp>(
         host, VersionInquiryReq{config_.suite_name}, options_.probe_timeout);

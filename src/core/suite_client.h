@@ -46,7 +46,10 @@ namespace wvote {
 struct SuiteClientOptions {
   Duration probe_timeout = Duration::Seconds(2);
   Duration data_timeout = Duration::Seconds(5);
-  QuorumStrategy strategy = QuorumStrategy::kLowestLatency;
+  // Probing policy plus tuning (capacities, f-resilience); assignable from
+  // a bare QuorumStrategy. Probabilistic policies sample each operation's
+  // quorum from the suite's seeded RNG, so replays stay bit-exact.
+  QuorumStrategySpec strategy = QuorumStrategy::kLowestLatency;
   bool background_refresh = true;
   // Fast-path reads: ask the probe target most likely to be both cheapest
   // and current to piggyback its contents on the version reply, making the
@@ -159,13 +162,39 @@ class SuiteClient {
 
   const SuiteConfig& config() const { return config_; }
   const SuiteClientStats& stats() const { return stats_; }
-  void ResetStats() { stats_.Reset(); }
+  void ResetStats() {
+    stats_.Reset();
+    probe_counts_.clear();
+  }
   RpcEndpoint* rpc() { return rpc_; }
+
+  // Swaps the probing policy at runtime (e.g. chaos sweeps rotating
+  // strategies mid-run). Tuning changes (capacities, f_resilience)
+  // invalidate cached strategies automatically even when config_version
+  // does not move; a bare policy change just selects another cached slot.
+  void SetStrategySpec(QuorumStrategySpec spec) { options_.strategy = std::move(spec); }
+  const QuorumStrategySpec& strategy_spec() const { return options_.strategy; }
+
+  // Observed probe distribution since the last stats reset: this client's
+  // probes to `host` divided by all its probes (0 when idle), the max such
+  // share, and a Gini coefficient of the shares (0 = perfectly even,
+  // -> 1 = one-host hotspot). Exported as core.planner.* gauges.
+  double ProbeShareOf(const std::string& host) const;
+  double MaxProbeShare() const;
+  double ProbeShareGini() const;
+
+  // The solver's expected max probe share for the active policy, if a
+  // strategy is cached (1.0 for deterministic policies with a cached plan,
+  // 0.0 when nothing is cached yet).
+  double ExpectedMaxShare() const;
 
   // Drops cached quorum plans (and their sampled link latencies). Needed
   // only when link costs change out of band; reconfiguration invalidates
   // automatically via the config version.
-  void InvalidatePlanCache() { plan_cache_.Invalidate(); }
+  void InvalidatePlanCache() {
+    plan_cache_.Invalidate();
+    links_.InvalidateLatencies();
+  }
 
   // Registers this client's counters, labeled by host and suite name.
   void RegisterMetrics(MetricsRegistry* registry);
@@ -197,10 +226,11 @@ class SuiteClient {
   HostId ResolveHost(const std::string& name) const;
   Duration LatencyTo(const std::string& name) const;
 
-  // Cached preference order for this client's config under `strategy`
-  // (built once per config version; see PlanCache). Shared ownership keeps
-  // a plan alive for gathers suspended across a cache invalidation.
-  std::shared_ptr<const std::vector<QuorumCandidate>> PlanFor(QuorumStrategy strategy);
+  // Cached probing strategy for this client's config under `policy` with
+  // the options' tuning (built once per config version; see PlanCache).
+  // Shared ownership keeps a strategy alive for gathers suspended across a
+  // cache invalidation.
+  std::shared_ptr<const ProbingStrategy> PlanFor(QuorumStrategy policy);
 
   // Records a version observed at a representative (probe reply, data
   // fetch, or this client's own commit) in the version-hint cache.
@@ -238,12 +268,15 @@ class SuiteClient {
   SuiteClientOptions options_;
   WeakRepresentative* cache_ = nullptr;
   SuiteClientStats stats_;
-  // Quorum plans memoized per (config_version, strategy); counts builds
-  // into stats_.plan_builds.
+  // Quorum strategies memoized per (config_version, tuning, policy);
+  // counts builds into stats_.plan_builds.
   PlanCache plan_cache_;
-  // Host names never remap in the simulated network, so resolution is
-  // memoized for the probe hot path.
-  mutable std::map<std::string, HostId> host_ids_;
+  // Shared host-id / link-latency lookup for probe resolution, plan
+  // building, and strategy solving (one memo instead of three).
+  mutable HostLinkCache links_;
+  // Probes sent per representative host since the last stats reset; feeds
+  // the core.planner.* load gauges.
+  std::map<std::string, uint64_t> probe_counts_;
   // Version-hint cache: the newest committed version this client has
   // evidence of, and the last version observed at each representative.
   // Purely advisory — used to aim the piggyback request, never to decide

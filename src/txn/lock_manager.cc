@@ -16,6 +16,8 @@ void LockManagerStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("txn.lock_manager.leases_expired", labels, &leases_expired);
   registry->RegisterCounter("txn.lock_manager.waits_on_committing", labels,
                             &waits_on_committing);
+  registry->RegisterCounter("txn.lock_manager.waits_on_courtesy", labels,
+                            &waits_on_courtesy);
   registry->AddResetHook([this]() { Reset(); });
 }
 
@@ -48,12 +50,22 @@ void LockManager::SetWaitPolicy(std::function<bool(const TxnId&)> committing) {
 
 bool LockManager::MustDie(const Entry& entry, TxnId txn, LockMode mode) {
   bool waited_on_committing = false;
+  bool waited_on_courtesy = false;
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) {
       continue;
     }
     const bool conflicts = (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive);
     if (!conflicts) {
+      continue;
+    }
+    // A courtesy holder (background refresh) locks exactly one key and never
+    // requests another lock while holding it, so it has no outgoing wait
+    // edges — waiting on it cannot close a deadlock cycle. Without this rule
+    // every client transaction is younger than the courtesy sentinel
+    // timestamp and would die on the short refresh install window.
+    if (h.txn.courtesy()) {
+      waited_on_courtesy = true;
       continue;
     }
     if (txn.OlderThan(h.txn)) {
@@ -70,6 +82,9 @@ bool LockManager::MustDie(const Entry& entry, TxnId txn, LockMode mode) {
   }
   if (waited_on_committing) {
     ++stats_.waits_on_committing;
+  }
+  if (waited_on_courtesy) {
+    ++stats_.waits_on_courtesy;
   }
   return false;
 }

@@ -45,6 +45,8 @@ struct LockManagerStats {
   uint64_t leases_expired = 0;  // orphaned holders swept by the lease policy
   uint64_t waits_on_committing = 0;  // wait-die deaths converted to waits by
                                      // the committing-holder wait policy
+  uint64_t waits_on_courtesy = 0;    // wait-die deaths converted to waits
+                                     // because the holder is a courtesy txn
 
   void Reset() { *this = LockManagerStats{}; }
   // Registers every field as `txn.lock_manager.*{labels}`; this struct must

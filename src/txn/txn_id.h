@@ -17,6 +17,13 @@
 namespace wvote {
 
 struct TxnId {
+  // Courtesy transactions (background refreshes) carry this timestamp: it is
+  // older than any real Begin() time (simulated time starts at 0), so the
+  // courtesy txn itself always waits behind client locks, while requesters
+  // that find a courtesy holder are allowed to wait instead of dying — see
+  // LockManager::MustDie. Single-lock, never-waits-while-holding work only.
+  static constexpr int64_t kCourtesyTimestamp = -1;
+
   int64_t timestamp_us = 0;  // simulated time at Begin()
   uint64_t serial = 0;       // per-coordinator counter (breaks timestamp ties)
   HostId coordinator = kInvalidHost;
@@ -24,6 +31,7 @@ struct TxnId {
   auto operator<=>(const TxnId&) const = default;
 
   bool valid() const { return coordinator != kInvalidHost; }
+  bool courtesy() const { return timestamp_us < 0; }
 
   // True if this transaction is older (= higher priority) than `other`.
   bool OlderThan(const TxnId& other) const { return *this < other; }

@@ -1,8 +1,41 @@
 #include "src/workload/generator.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
+#include "src/common/check.h"
+
 namespace wvote {
+
+ZipfianSampler::ZipfianSampler(size_t n, double s) {
+  WVOTE_CHECK_MSG(n > 0, "zipfian domain must be non-empty");
+  WVOTE_CHECK_MSG(s >= 0, "zipfian exponent must be non-negative");
+  cumulative_.reserve(n);
+  double acc = 0;
+  for (size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cumulative_.push_back(acc);
+  }
+  for (double& c : cumulative_) {
+    c /= acc;
+  }
+  cumulative_.back() = 1.0;  // absorb rounding
+}
+
+size_t ZipfianSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return it == cumulative_.end() ? cumulative_.size() - 1
+                                 : static_cast<size_t>(it - cumulative_.begin());
+}
+
+double ZipfianSampler::ProbabilityOf(size_t rank) const {
+  if (rank >= cumulative_.size()) {
+    return 0.0;
+  }
+  return rank == 0 ? cumulative_[0] : cumulative_[rank] - cumulative_[rank - 1];
+}
 
 void WorkloadStats::RegisterWith(MetricsRegistry* registry, const MetricLabels& labels) {
   registry->RegisterCounter("workload.client.reads_ok", labels, &reads_ok);

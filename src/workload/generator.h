@@ -20,6 +20,24 @@
 
 namespace wvote {
 
+// Zipf(s) over ranks {0..n-1}: rank k is sampled with probability
+// proportional to 1/(k+1)^s. s = 0 degenerates to uniform; s ~ 1 is the
+// classic "few hot keys" web skew. Sampling is inverse-CDF over a
+// precomputed cumulative table (O(log n) per draw, deterministic given the
+// caller's Rng stream).
+class ZipfianSampler {
+ public:
+  ZipfianSampler(size_t n, double s);
+
+  size_t Sample(Rng* rng) const;
+  // P[Sample() == rank]; handy for benches reporting expected skew.
+  double ProbabilityOf(size_t rank) const;
+  size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
 struct WorkloadOptions {
   double read_fraction = 0.9;
   Duration mean_think_time = Duration::Millis(100);

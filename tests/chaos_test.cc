@@ -330,6 +330,29 @@ TEST(ChaosRunner, NegativeControlCaughtMinimizedAndReplayable) {
   EXPECT_EQ(replayed.check.Report(minimized), still_failing.check.Report(minimized));
 }
 
+// Rotating probing policies mid-run is invisible to the consistency spec:
+// strategies pick *which* current representatives serve a quorum, never the
+// quorum arithmetic. Rotation runs stay deterministic and the rotate flag
+// survives the artifact round trip (old artifacts without it replay with
+// rotation off).
+TEST(ChaosRunner, StrategyRotationHoldsConsistencyAndReplays) {
+  ChaosRunSpec spec = SmallSpec(5, "crash_churn");
+  spec.rotate_strategies = true;
+  ChaosRunOutcome outcome = RunChaos(spec);
+  EXPECT_TRUE(outcome.check.ok()) << outcome.check.Report(outcome.schedule);
+  EXPECT_TRUE(outcome.final_read_ok);
+  EXPECT_GT(outcome.strategy_rotations, 0u);
+
+  ChaosRunOutcome again = RunChaos(spec);
+  EXPECT_EQ(again.check.Report(again.schedule), outcome.check.Report(outcome.schedule));
+  EXPECT_EQ(again.strategy_rotations, outcome.strategy_rotations);
+
+  const std::string artifact = DumpArtifact(spec, outcome.schedule, outcome);
+  Result<ChaosReplayFile> replay = ParseArtifact(artifact);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay.value().spec.rotate_strategies);
+}
+
 TEST(ChaosRunner, HistoryRecorderTracksIntervals) {
   Simulator sim(1);
   HistoryRecorder recorder(&sim);

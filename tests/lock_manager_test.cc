@@ -101,6 +101,46 @@ TEST_F(LockManagerTest, YoungerDiesOnConflict) {
   EXPECT_EQ(locks_.stats().dies, 1u);
 }
 
+TEST_F(LockManagerTest, RequestersWaitOnCourtesyHolderInsteadOfDying) {
+  // A courtesy transaction (background refresh) carries the sentinel
+  // timestamp: every client is younger, but since a courtesy holder locks a
+  // single key and acquires nothing further, waiting on it cannot deadlock —
+  // so the wait-die refusal becomes a wait.
+  TxnId courtesy = MakeTxn(TxnId::kCourtesyTimestamp, /*serial=*/7);
+  ASSERT_TRUE(courtesy.courtesy());
+  auto held = Acquire(courtesy, "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  ASSERT_TRUE(Granted(held));
+
+  auto client = Acquire(MakeTxn(5), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(client));  // parked, not killed
+  EXPECT_EQ(locks_.stats().dies, 0u);
+  EXPECT_EQ(locks_.stats().waits_on_courtesy, 1u);
+
+  locks_.ReleaseAll(courtesy);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(client));
+}
+
+TEST_F(LockManagerTest, CourtesyRequesterWaitsBehindClientHolder) {
+  // The asymmetry matters: the courtesy txn is the *oldest* under wait-die,
+  // so when it is the requester it waits for the client holder (typically
+  // the reader that spawned the refresh) rather than preempting it.
+  auto client = Acquire(MakeTxn(5), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  ASSERT_TRUE(Granted(client));
+
+  auto refresh = Acquire(MakeTxn(TxnId::kCourtesyTimestamp), "k", LockMode::kExclusive);
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Pending(refresh));
+  EXPECT_EQ(locks_.stats().dies, 0u);
+
+  locks_.ReleaseAll(MakeTxn(5));
+  sim_.RunFor(Duration::Millis(100));
+  EXPECT_TRUE(Granted(refresh));
+}
+
 TEST_F(LockManagerTest, SharedVersusExclusiveConflicts) {
   auto s = Acquire(MakeTxn(100), "k", LockMode::kShared);
   sim_.Run();

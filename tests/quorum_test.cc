@@ -167,8 +167,9 @@ TEST(PlanCacheTest, ReusesPlanForSameConfigAndStrategy) {
   auto p2 = cache.Get(cfg, QuorumStrategy::kLowestLatency);
   EXPECT_EQ(p1.get(), p2.get());  // same shared plan, not a rebuild
   EXPECT_EQ(builds, 1u);
-  ASSERT_EQ(p1->size(), 3u);
-  EXPECT_EQ((*p1)[0].host_name, "b");
+  ASSERT_EQ(p1->order.size(), 3u);
+  EXPECT_EQ(p1->order[0].host_name, "b");
+  EXPECT_FALSE(p1->probabilistic());
 }
 
 TEST(PlanCacheTest, StrategiesAreCachedIndependently) {
@@ -180,8 +181,8 @@ TEST(PlanCacheTest, StrategiesAreCachedIndependently) {
   auto latency = cache.Get(cfg, QuorumStrategy::kLowestLatency);
   auto votes = cache.Get(cfg, QuorumStrategy::kFewestMessages);
   EXPECT_EQ(builds, 2u);
-  EXPECT_EQ((*latency)[0].host_name, "b");
-  EXPECT_EQ((*votes)[0].host_name, "a");
+  EXPECT_EQ(latency->order[0].host_name, "b");
+  EXPECT_EQ(votes->order[0].host_name, "a");
   cache.Get(cfg, QuorumStrategy::kLowestLatency);
   cache.Get(cfg, QuorumStrategy::kFewestMessages);
   EXPECT_EQ(builds, 2u);  // both still cached
@@ -203,13 +204,13 @@ TEST(PlanCacheTest, ConfigVersionChangeInvalidates) {
   // A new config version rebuilds...
   auto new_plan = cache.Get(next, QuorumStrategy::kLowestLatency);
   EXPECT_EQ(builds, 2u);
-  EXPECT_EQ(new_plan->size(), 3u);
+  EXPECT_EQ(new_plan->order.size(), 3u);
   // ...and stays cached under that version.
   cache.Get(next, QuorumStrategy::kLowestLatency);
   EXPECT_EQ(builds, 2u);
   // The old shared plan stays valid for holders that outlive the
   // invalidation (a gather suspended mid-flight).
-  EXPECT_EQ(old_plan->size(), 2u);
+  EXPECT_EQ(old_plan->order.size(), 2u);
 }
 
 TEST(PlanCacheTest, ExplicitInvalidateForcesRebuild) {
@@ -221,6 +222,113 @@ TEST(PlanCacheTest, ExplicitInvalidateForcesRebuild) {
   cache.Invalidate();
   cache.Get(cfg, QuorumStrategy::kLowestLatency);
   EXPECT_EQ(builds, 2u);
+}
+
+TEST(PlanCacheTest, CapacityChangeInvalidatesWithoutVersionBump) {
+  SuiteConfig cfg = MakeConfig({{"a", 1}, {"b", 1}, {"c", 1}}, 2, 2);
+  cfg.config_version = 7;
+  uint64_t builds = 0;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(1)},
+                              {"b", Duration::Millis(2)},
+                              {"c", Duration::Millis(3)}}),
+                  &builds);
+  QuorumStrategySpec spec(QuorumStrategy::kLoadOptimal);
+  auto p1 = cache.Get(cfg, spec);
+  EXPECT_EQ(builds, 1u);
+
+  // Same config version, new capacity vector: the cached distribution is
+  // tuned for the old capacities and must be rebuilt.
+  spec.capacities = {{"a", 2.0}};
+  auto p2 = cache.Get(cfg, spec);
+  EXPECT_EQ(builds, 2u);
+  EXPECT_NE(p1.get(), p2.get());
+
+  // Same tuning again: cached.
+  cache.Get(cfg, spec);
+  EXPECT_EQ(builds, 2u);
+
+  // f_resilience is tuning too.
+  spec.f_resilience = 1;
+  cache.Get(cfg, spec);
+  EXPECT_EQ(builds, 3u);
+}
+
+TEST(PlanCacheTest, ProbabilisticPoliciesCarryDistributions) {
+  SuiteConfig cfg = MakeConfig({{"a", 2}, {"b", 1}, {"c", 1}, {"d", 1}}, 2, 4);
+  cfg.config_version = 1;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(1)},
+                              {"b", Duration::Millis(2)},
+                              {"c", Duration::Millis(3)},
+                              {"d", Duration::Millis(4)}}));
+  auto strategy = cache.Get(cfg, QuorumStrategy::kLoadOptimal);
+  ASSERT_TRUE(strategy->probabilistic());
+  const QuorumDistribution* read = strategy->DistributionFor(cfg.read_quorum);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->target_votes, 2);
+  EXPECT_EQ(read->quorums.size(), 4u);  // {a}, {b,c}, {b,d}, {c,d}
+  EXPECT_LE(read->max_share, 0.35);     // the load-optimal acceptance bound
+  const QuorumDistribution* write = strategy->DistributionFor(cfg.write_quorum);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->target_votes, 4);
+
+  // Deterministic policies share the cache but carry no distribution.
+  auto det = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  EXPECT_FALSE(det->probabilistic());
+  EXPECT_EQ(det->DistributionFor(cfg.read_quorum), nullptr);
+}
+
+TEST(ProbingStrategyTest, SamplingIsSeedDeterministic) {
+  SuiteConfig cfg = MakeConfig({{"a", 2}, {"b", 1}, {"c", 1}, {"d", 1}}, 2, 4);
+  cfg.config_version = 1;
+  PlanCache cache(LatencyMap({{"a", Duration::Millis(1)},
+                              {"b", Duration::Millis(2)},
+                              {"c", Duration::Millis(3)},
+                              {"d", Duration::Millis(4)}}));
+  auto strategy = cache.Get(cfg, QuorumStrategy::kLoadOptimal);
+  ASSERT_TRUE(strategy->probabilistic());
+
+  Rng rng_a(1234);
+  Rng rng_b(1234);
+  bool saw_non_prefix = false;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint16_t> sa = strategy->SampleOrder(cfg.read_quorum, &rng_a);
+    std::vector<uint16_t> sb = strategy->SampleOrder(cfg.read_quorum, &rng_b);
+    // Same seed, same draw index -> identical probe order: chaos replays
+    // of probabilistic strategies stay bit-exact.
+    EXPECT_EQ(sa, sb);
+    // Every sample is a permutation of the full candidate list (widening
+    // fallbacks keep availability identical to deterministic probing).
+    std::vector<uint16_t> sorted = sa;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<uint16_t>{0, 1, 2, 3}));
+    // The sampled prefix really is a quorum.
+    int votes = 0;
+    for (uint16_t idx : sa) {
+      if (votes >= cfg.read_quorum) {
+        break;
+      }
+      votes += strategy->order[idx].votes;
+    }
+    EXPECT_GE(votes, cfg.read_quorum);
+    if (sa[0] != 0) {
+      saw_non_prefix = true;
+    }
+  }
+  // The distribution actually spreads probes (pi_{a} ~= 0.4, so ~60% of
+  // draws start elsewhere; 200 draws without one is ~1e-80).
+  EXPECT_TRUE(saw_non_prefix);
+
+  // Deterministic policies consume no randomness and return no sample.
+  auto det = cache.Get(cfg, QuorumStrategy::kLowestLatency);
+  Rng rng_c(99);
+  const uint64_t before = rng_c.NextUint64();
+  Rng rng_d(99);
+  (void)rng_d.NextUint64();
+  EXPECT_TRUE(det->SampleOrder(cfg.read_quorum, &rng_d).empty());
+  Rng rng_e(99);
+  (void)rng_e.NextUint64();
+  EXPECT_EQ(rng_d.NextUint64(), rng_e.NextUint64());
+  (void)before;
 }
 
 }  // namespace

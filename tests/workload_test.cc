@@ -125,6 +125,43 @@ TEST(FaultInjectorTest, HostCyclesAndEndsUp) {
   EXPECT_NEAR(stats.total_downtime.ToSeconds() / 600.0, 0.2, 0.1);
 }
 
+TEST(ZipfianSamplerTest, ZeroExponentIsUniform) {
+  ZipfianSampler zipf(4, 0.0);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR(zipf.ProbabilityOf(k), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfianSamplerTest, SkewFavorsLowRanksAndMatchesAnalyticMass) {
+  ZipfianSampler zipf(8, 1.0);
+  EXPECT_GT(zipf.ProbabilityOf(0), zipf.ProbabilityOf(1));
+  EXPECT_GT(zipf.ProbabilityOf(1), zipf.ProbabilityOf(7));
+  double total = 0;
+  for (size_t k = 0; k < 8; ++k) {
+    total += zipf.ProbabilityOf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+
+  Rng rng(42);
+  std::vector<int> hits(8, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    ++hits[zipf.Sample(&rng)];
+  }
+  for (size_t k = 0; k < 8; ++k) {
+    EXPECT_NEAR(static_cast<double>(hits[k]) / draws, zipf.ProbabilityOf(k), 0.02);
+  }
+}
+
+TEST(ZipfianSamplerTest, SamplingIsSeedDeterministic) {
+  ZipfianSampler zipf(16, 0.99);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf.Sample(&a), zipf.Sample(&b));
+  }
+}
+
 TEST(FaultInjectorTest, ApproximatesTargetAvailability) {
   Simulator sim(2);
   Network net(&sim);

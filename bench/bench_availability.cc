@@ -18,7 +18,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 
 struct VoteScheme {
   const char* name;
@@ -40,6 +39,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
   copts.seed = 7;
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   SuiteConfig config;
   config.suite_name = "avail";
   for (size_t i = 0; i < scheme.votes.size(); ++i) {
@@ -79,8 +79,9 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
 
   char tag[96];
   std::snprintf(tag, sizeof(tag), "%s p=%.2f", scheme.name, availability);
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
 
   SimPoint point{0.0, 0.0};
   if (stats.reads_ok + stats.read_failures > 0) {
@@ -97,9 +98,7 @@ SimPoint SimulateAvailability(const VoteScheme& scheme, double availability) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   const std::vector<VoteScheme> schemes = {
       {"read-one/write-all", {1, 1, 1, 1, 1}, 1, 5},
       {"majority", {1, 1, 1, 1, 1}, 3, 3},
@@ -131,5 +130,6 @@ int main(int argc, char** argv) {
   std::printf("shape check: ROWA reads stay available longest; ROWA writes collapse first;\n"
               "majority balances the two; extra votes on one representative skew both.\n");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

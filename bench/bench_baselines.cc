@@ -28,7 +28,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 
 const Duration kRtt[] = {Duration::Millis(20), Duration::Millis(40), Duration::Millis(80),
                          Duration::Millis(160), Duration::Millis(320)};
@@ -47,6 +46,7 @@ std::unique_ptr<Cluster> MakeCluster(uint64_t seed, bool voting_servers) {
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   auto cluster = std::make_unique<Cluster>(copts);
   MaybeEnableTracing(*cluster);
+  MaybeEnableScraping(*cluster);
   if (voting_servers) {
     for (int i = 0; i < kNumServers; ++i) {
       cluster->AddRepresentative("srv-" + std::to_string(i));
@@ -76,8 +76,9 @@ SchemeResult RunWorkload(Cluster& cluster, ReplicatedStore* store, double read_f
                          Duration::Seconds(30));
   char tag[96];
   std::snprintf(tag, sizeof(tag), "%s rf=%.2f", store->SchemeName(), read_fraction);
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   SchemeResult out;
   out.read_ms = stats.read_latency.Mean().ToMillis();
   out.write_ms = stats.write_latency.Mean().ToMillis();
@@ -132,6 +133,7 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
   copts.seed = seed;
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   std::vector<std::unique_ptr<TimestampServer>> servers;
   std::vector<HostId> replicas;
   for (int i = 0; i < kNumServers; ++i) {
@@ -156,9 +158,7 @@ SchemeResult RunMajorityConsensus(double read_fraction, uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   std::printf("E5: schemes compared across the read/write mix\n");
   std::printf("5 replicas, client RTTs {20,40,80,160,320}ms, closed loop, 120s runs\n\n");
   std::printf("%-20s", "scheme");
@@ -217,5 +217,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

@@ -50,7 +50,13 @@ std::string HandleFailure(const char* label, const ChaosRunSpec& spec,
               spec.schedule_template.c_str(), spec.suite.name.c_str(),
               outcome.check.violations.size());
   FaultSchedule minimized = MinimizeSchedule(spec, outcome.schedule);
-  ChaosRunOutcome replay = RunChaosWithSchedule(spec, minimized);
+  // Re-run the minimized schedule with scraping on so the artifact carries a
+  // flight-recorder tail (SLO events + series around the failure). Scraping
+  // is replay-invisible: the section sits past the `---` markers ParseArtifact
+  // reads, and the run itself is bit-identical either way.
+  ChaosRunSpec recorded = spec;
+  recorded.scrape_resolution = Duration::Millis(10);
+  ChaosRunOutcome replay = RunChaosWithSchedule(recorded, minimized);
   std::printf("%s: schedule minimized %zu -> %zu events\n", label,
               outcome.schedule.events.size(), minimized.events.size());
   std::fputs(replay.check.Report(minimized).c_str(), stdout);
@@ -187,6 +193,60 @@ int RunSweep(int seeds_per_cell, MetricsMode metrics_mode) {
   return failures;
 }
 
+// E15 — flight-recorder showcase: one partition run with sim-time scraping
+// on. The mid-run partition must drive the read-availability SLO into
+// breach and back to recovery (the dip-and-recover in the exported series,
+// as judged by the windowed burn-rate engine), leave an slo-breach
+// breadcrumb in the trace tail, and attach a non-empty flight record.
+// Scraping is pure observation — scrape_determinism_test pins that the run
+// itself is bit-identical with it on or off. The r2w2x3 suite is the right
+// victim: the partitions template always leaves a one-rep side, so any
+// client scattered there cannot gather a 2-vote read quorum until the heal.
+int RunSloShowcase() {
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    ChaosRunSpec spec;
+    spec.seed = seed;
+    spec.schedule_template = "partitions";
+    spec.suite = DefaultSuiteSpecs()[1];  // r2w2x3
+    spec.ops_per_client = 120;  // keep traffic flowing past the heal so recovery windows fill
+    spec.scrape_resolution = Duration::Millis(10);
+    ChaosRunOutcome outcome = RunChaos(spec);
+    if (!outcome.check.ok()) {
+      return 1;  // a valid config must never fail the checker, showcase or not
+    }
+    const std::string& fr = outcome.flight_record;
+    const bool breached =
+        fr.find("{\"rule\":\"read-availability\",\"breach\":true") != std::string::npos;
+    const bool recovered =
+        fr.find("{\"rule\":\"read-availability\",\"breach\":false") != std::string::npos;
+    const bool breadcrumb = fr.find("slo-breach") != std::string::npos;
+    if (!(breached && recovered && breadcrumb)) {
+      continue;  // this seed's splits spared every client; try the next
+    }
+    std::printf("# slo showcase: seed %llu partitions drove read-availability into breach "
+                "and back to recovery (%llu rule breaches, %zu-byte flight record)\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(outcome.slo_breaches), fr.size());
+    const size_t ev_begin = fr.find("\"slo_events\":");
+    const size_t ev_end = fr.find(",\"trace_tail\"");
+    if (ev_begin != std::string::npos && ev_end != std::string::npos && ev_end > ev_begin) {
+      std::printf("#   %s\n", fr.substr(ev_begin, ev_end - ev_begin).c_str());
+    }
+    if (g_timeseries.active()) {
+      if (!g_timeseries.first) {
+        g_timeseries.objects += ",\n";
+      }
+      g_timeseries.objects += "{\"tag\":\"chaos/slo-showcase\",\"timeseries\":" +
+                              outcome.timeseries_json + ",\"flight_record\":" + fr + "}";
+      g_timeseries.first = false;
+    }
+    return 0;
+  }
+  std::printf("# ERROR: no partition seed in 1..12 produced a read-availability "
+              "breach + recovery — the SLO pipeline is not observing the fault\n");
+  return 1;
+}
+
 // The negative control must fail, its minimized artifact must replay to the
 // identical verdict. Returns 0 on (expected failure found + exact replay).
 int RunNegativeControl(int max_seeds) {
@@ -228,9 +288,7 @@ int RunNegativeControl(int max_seeds) {
 }
 
 int Main(int argc, char** argv) {
-  g_bench_smoke = ParseSmoke(argc, argv);
-  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
-  ParseTraceFlag(argc, argv);
+  const MetricsMode metrics_mode = ParseBenchFlags(argc, argv);
   int seeds_per_cell = g_bench_smoke ? 2 : 10;
   std::string replay_path;
   for (int i = 1; i < argc; ++i) {
@@ -247,6 +305,7 @@ int Main(int argc, char** argv) {
   }
 
   const int sweep_failures = RunSweep(seeds_per_cell, metrics_mode);
+  const int showcase_status = RunSloShowcase();
   const int negative_status = RunNegativeControl(g_bench_smoke ? 8 : 10);
 
   if (g_chrome_trace.active()) {
@@ -265,9 +324,14 @@ int Main(int argc, char** argv) {
     g_chrome_trace.first = false;
     WriteChromeTrace();
   }
+  WriteTimeseries();
 
   if (sweep_failures > 0) {
     std::printf("# RESULT: FAIL (%d valid-config checker failures)\n", sweep_failures);
+    return 1;
+  }
+  if (showcase_status != 0) {
+    std::printf("# RESULT: FAIL (slo showcase did not observe the partition)\n");
     return 1;
   }
   if (negative_status != 0) {

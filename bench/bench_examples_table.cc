@@ -18,9 +18,7 @@
 using namespace wvote;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
-  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  const MetricsMode metrics_mode = ParseBenchFlags(argc, argv);
   const int ops = SmokeIters(50);
   std::printf("E1: Gifford's example file suites — analytic vs simulated\n");
   std::printf("(representative availability 0.99 for blocking probabilities)\n\n");
@@ -63,6 +61,7 @@ int main(int argc, char** argv) {
                 writes.Mean().ToMillis(), analysis.ReadBlockingProbability(),
                 analysis.WriteBlockingProbability());
     CollectChromeTrace(*dep.cluster, ex.name);
+    CollectTimeseries(*dep.cluster, ex.name);
   }
 
   std::printf("\nper-example traffic for %d reads + %d writes:\n", ops, ops);
@@ -81,7 +80,9 @@ int main(int argc, char** argv) {
                     ex.client_has_cache ? dep.cluster->cache_of("client")->stats().hits : 0));
     DumpMetrics(dep.cluster->metrics(), metrics_mode, ex.name);
     CollectChromeTrace(*dep.cluster, ex.name + "-traffic");
+    CollectTimeseries(*dep.cluster, ex.name + "-traffic");
   }
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

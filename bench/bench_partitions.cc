@@ -27,7 +27,6 @@ struct PartitionResult {
   bool converged = true;
 };
 
-MetricsMode g_metrics = MetricsMode::kNone;
 int g_epochs = 8;
 
 PartitionResult RunOne(int r, int w) {
@@ -35,6 +34,7 @@ PartitionResult RunOne(int r, int w) {
   copts.seed = 31;
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   std::vector<std::string> servers;
   for (int i = 0; i < 5; ++i) {
     servers.push_back("srv-" + std::to_string(i));
@@ -105,17 +105,16 @@ PartitionResult RunOne(int r, int w) {
   }
   char tag[64];
   std::snprintf(tag, sizeof(tag), "r=%d w=%d", r, w);
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   g_epochs = SmokeIters(8, 2);
   std::printf("E6: partitions — mutual exclusion and partial operability\n");
   std::printf("5 servers; partition {0,1,2} vs {3,4}; %d epochs x 3 ops per side\n\n",
@@ -141,5 +140,6 @@ int main(int argc, char** argv) {
   std::printf("\nshape check: writes only ever complete on the side holding a write quorum;\n"
               "r=1 lets the minority keep reading; r=3 blocks minority reads too.\n");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

@@ -19,7 +19,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 
 GiffordExample MakeHeterogeneousSuite(QuorumStrategy strategy) {
   GiffordExample ex;
@@ -62,8 +61,9 @@ void PrintStrategyTable(int ops) {
                 reads.Mean().ToMillis(), writes.Mean().ToMillis(),
                 static_cast<double>(net.messages_sent) / (2.0 * ops),
                 static_cast<unsigned long long>(dep.client->stats().probes_sent));
-    DumpMetrics(dep.cluster->metrics(), g_metrics, QuorumStrategyName(strategy));
+    DumpMetrics(dep.cluster->metrics(), g_bench_metrics, QuorumStrategyName(strategy));
     CollectChromeTrace(*dep.cluster, QuorumStrategyName(strategy));
+    CollectTimeseries(*dep.cluster, QuorumStrategyName(strategy));
   }
   std::printf("\nshape check: lowest-latency wins time, fewest-messages wins probe count,\n"
               "broadcast pays the most messages for the most failure tolerance.\n\n");
@@ -108,12 +108,11 @@ BENCHMARK(BM_PlanFewestMessages)->Arg(3)->Arg(7)->Arg(15)->Arg(31);
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   PrintStrategyTable(SmokeIters(40));
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

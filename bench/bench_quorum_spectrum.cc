@@ -37,9 +37,7 @@ GiffordExample MakeSpectrumSuite(int r, int w, double availability) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  const MetricsMode metrics_mode = ParseBenchFlags(argc, argv);
   const int ops = SmokeIters(30);
   constexpr double kAvailability = 0.99;
   std::printf("E2: read/write latency and availability across the (r, w) spectrum\n");
@@ -81,8 +79,10 @@ int main(int argc, char** argv) {
       std::snprintf(tag, sizeof(tag), "r=%d w=%d", r, w);
       DumpMetrics(dep.cluster->metrics(), metrics_mode, tag);
       CollectChromeTrace(*dep.cluster, tag);
+      CollectTimeseries(*dep.cluster, tag);
     }
   }
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

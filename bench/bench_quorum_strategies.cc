@@ -44,7 +44,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 int g_reads = 400;  // per run; 10:1 read:write mix
 
 constexpr const char* kHosts[] = {"srv-0", "srv-1", "srv-2", "srv-3"};
@@ -139,8 +138,9 @@ PolicyResult RunSingleClient(bool skewed_rtt, QuorumStrategySpec spec, const cha
     ++out.ops;
   }
   FinishResult(cluster, dep.client, &out);
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return out;
 }
 
@@ -151,6 +151,7 @@ PolicyResult RunZipfClients(QuorumStrategySpec spec, const char* tag) {
   opts.seed = 42;
   Cluster cluster(opts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   GiffordExample ex = MakeSuite(/*skewed_rtt=*/false);
   for (int h = 0; h < kNumHosts; ++h) {
     cluster.AddRepresentative(kHosts[h]);
@@ -190,8 +191,9 @@ PolicyResult RunZipfClients(QuorumStrategySpec spec, const char* tag) {
     ++out.ops;
   }
   FinishResult(cluster, clients[0], &out);
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return out;
 }
 
@@ -262,9 +264,7 @@ void AppendPolicyJson(std::string* json, const char* policy, const PolicyResult&
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
@@ -305,7 +305,6 @@ int main(int argc, char** argv) {
   }
   PrintRule(108);
 
-  const PolicyResult& base = results["steady"]["cheapest"];
   const PolicyResult& opt = results["steady"]["load-optimal"];
   std::printf(
       "\nshape check: steady/cheapest aims ~85%% of probes at srv-0 (ceiling ~1x);\n"
@@ -337,6 +336,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", json.c_str());
 
   WriteChromeTrace();
+
+  WriteTimeseries();
 
   if (!baseline_path.empty()) {
     const double committed = ParseCommittedMaxShare(ReadWholeFile(baseline_path));

@@ -28,7 +28,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 int g_reads = 400;  // per scenario; 10:1 read:write mix
 
 GiffordExample MakeReadPathSuite() {
@@ -152,8 +151,9 @@ RunResult RunWorkload(bool fastpath, bool faulty, const char* tag) {
         static_cast<double>(out.polls[h] + out.data_reads[h]) / total_read_work;
     out.max_share = std::max(out.max_share, share);
   }
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return out;
 }
 
@@ -198,9 +198,7 @@ void PrintScenario(const char* name, bool faulty) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   g_reads = SmokeIters(g_reads, /*tiny=*/20);
   std::printf("E10: fast-path reads — piggybacked data on version probes\n");
   std::printf("(4 reps, votes 2,1,1,1, r=2, w=4; %d reads per run, 10:1 read:write)\n\n",
@@ -220,5 +218,6 @@ int main(int argc, char** argv) {
       "reads): cheapest-first concentrates it on srv-0 — E14 shows what sampled\n"
       "strategies buy back.\n");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

@@ -14,15 +14,14 @@
 using namespace wvote;  // NOLINT: bench brevity
 
 int main(int argc, char** argv) {
-  const MetricsMode metrics_mode = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  const MetricsMode metrics_mode = ParseBenchFlags(argc, argv);
   std::printf("E7: reconfiguration under load\n\n");
 
   ClusterOptions copts;
   copts.seed = 17;
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   for (int i = 0; i < 5; ++i) {
     cluster.AddRepresentative("srv-" + std::to_string(i));
   }
@@ -97,6 +96,8 @@ int main(int argc, char** argv) {
               "is rejected by validation, and the workload keeps running throughout.\n");
   DumpMetrics(cluster.metrics(), metrics_mode, "reconfig");
   CollectChromeTrace(cluster, "reconfig");
+  CollectTimeseries(cluster, "reconfig");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

@@ -18,7 +18,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 
 struct RefreshRow {
   double read_mean_ms;
@@ -35,6 +34,7 @@ RefreshRow RunOne(bool refresh_on) {
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   for (const char* s : {"srv-a", "srv-b", "srv-c"}) {
     cluster.AddRepresentative(s);
   }
@@ -97,17 +97,16 @@ RefreshRow RunOne(bool refresh_on) {
       cluster.representative("srv-b")->stats().data_reads - b_reads_before;
   row.stale_fetches = reader_stats.reads_ok > b_reads ? reader_stats.reads_ok - b_reads : 0;
   row.bytes = cluster.net().stats().bytes_sent;
-  DumpMetrics(cluster.metrics(), g_metrics, refresh_on ? "refresh=on" : "refresh=off");
+  DumpMetrics(cluster.metrics(), g_bench_metrics, refresh_on ? "refresh=on" : "refresh=off");
   CollectChromeTrace(cluster, refresh_on ? "refresh=on" : "refresh=off");
+  CollectTimeseries(cluster, refresh_on ? "refresh=on" : "refresh=off");
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   std::printf("E9: background refresh ablation\n");
   std::printf("writer installs at {a,c}; reader's local rep b is stale unless refreshed\n");
   std::printf("reader RTTs: a=500ms b=20ms c=120ms; 16KiB file; ~1 write / 20 reads\n\n");
@@ -124,5 +123,6 @@ int main(int argc, char** argv) {
               "the reader fetches locally (20ms); with it off every post-update read drags\n"
               "contents from srv-c (120ms), costing latency and wide-area bytes.\n");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

@@ -251,7 +251,7 @@ double BestOf(int trials, const std::function<double()>& run) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_bench_smoke = ParseSmoke(argc, argv);
+  ParseBenchFlags(argc, argv);
   std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--baseline=", 11) == 0) {

@@ -14,6 +14,10 @@
 //      stray std::string or map operation (hundreds of ns) still does.
 //   2. google-benchmark loops reporting the real ns/op for the disabled and
 //      enabled span lifecycle, for humans watching the trend.
+//
+// It also guards the sim-time scraper the same way: one Scraper::ScrapeAt
+// over a deployed cluster's full registry must stay cheap enough that 10ms
+// sim-time resolution costs under 1% of bench wall time.
 
 #include <benchmark/benchmark.h>
 
@@ -62,6 +66,50 @@ void RunGuard() {
                   "must be one branch (no allocation, no map insert)");
 }
 
+// Wall-clock ns per Scraper::ScrapeAt against a live cluster's registry,
+// averaged over `iters` sim-time windows.
+double MeasureScrapeNsPerOp(MetricsRegistry* registry, int iters) {
+  ScraperOptions sopts;
+  Scraper scraper(registry, sopts);
+  const int64_t period = sopts.resolution.ToMicros();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 1; i <= iters; ++i) {
+    scraper.ScrapeAt(TimePoint::FromMicros(i * period));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count()) /
+         iters;
+}
+
+void RunScrapeGuard() {
+  // A realistically-populated registry: deploy example 1, run traffic so the
+  // suite-client counters, planner gauges, and latency histograms all exist
+  // and carry values — the scrape plan walks every one of them.
+  ExampleDeployment dep = DeployExample(MakeGiffordExamples()[0]);
+  TimeReads(*dep.cluster, dep.client, 50);
+  TimeWrites(*dep.cluster, dep.client, 50);
+
+  MeasureScrapeNsPerOp(&dep.cluster->metrics(), 1000);  // warm
+  const int iters = g_bench_smoke ? 20000 : 200000;
+  double best = MeasureScrapeNsPerOp(&dep.cluster->metrics(), iters);
+  for (int trial = 0; trial < 2; ++trial) {
+    const double ns = MeasureScrapeNsPerOp(&dep.cluster->metrics(), iters);
+    best = ns < best ? ns : best;
+  }
+  // Same "CAN this be cheap" shape as the trace guard: the bound is generous
+  // (~200x a healthy ~0.5us scrape — min-of-3 wall timings inflate badly on
+  // oversubscribed CI runners) so sanitizer builds and parallel ctest never
+  // trip it, but a scrape that re-snapshots or reallocates whole rings per
+  // window (hundreds of us) still does. At 10ms sim-time resolution a
+  // read-path bench advances sim time ~1000x faster than wall clock, so 100
+  // scrapes per simulated second under this bound is <=1% of bench wall time.
+  std::printf("scrape-overhead guard: ScrapeAt = %.0f ns/op (bound 100000)\n", best);
+  WVOTE_CHECK_MSG(best < 100000.0,
+                  "per-scrape cost exceeds bound: scraping at 10ms sim-time "
+                  "resolution must stay under 1%% of bench wall time");
+}
+
 void BM_SpanDisabled(benchmark::State& state) {
   Simulator sim(1);
   Tracer tracer(&sim);
@@ -103,8 +151,9 @@ BENCHMARK(BM_SpanTreeEnabled);
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_bench_smoke = ParseSmoke(argc, argv);
+  ParseBenchFlags(argc, argv);
   RunGuard();
+  RunScrapeGuard();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -18,6 +18,7 @@
 #include "src/core/cluster.h"
 #include "src/obs/histogram.h"
 #include "src/obs/metrics.h"
+#include "src/obs/timeseries.h"
 
 namespace wvote {
 
@@ -94,6 +95,96 @@ inline void WriteChromeTrace() {
   std::fprintf(stderr, "wrote Chrome trace to %s\n", g_chrome_trace.path.c_str());
 }
 
+// --timeseries=FILE support: every bench accepts the flag and exports the
+// sim-time time-series layer (src/obs/timeseries.h) for every scenario it
+// ran, as a JSON array of {"tag","timeseries","slo_events"} objects. With
+// the flag present, clusters deploy with 10ms sim-time scraping enabled
+// (replay-invisible — the scraper rides the simulator metronome), and each
+// scenario prints a terminal sparkline summary of its headline series.
+struct TimeseriesState {
+  std::string path;    // empty = flag absent, scraping stays disabled
+  Duration resolution = Duration::Millis(10);
+  std::string objects;  // accumulated per-scenario JSON objects
+  bool first = true;
+
+  bool active() const { return !path.empty(); }
+};
+inline TimeseriesState g_timeseries;
+
+inline void ParseTimeseriesFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--timeseries=", 13) == 0) {
+      g_timeseries.path = argv[i] + 13;
+    }
+  }
+}
+
+// Call right after constructing a cluster (DeployExample does it for you).
+inline void MaybeEnableScraping(Cluster& cluster) {
+  if (g_timeseries.active()) {
+    cluster.EnableScraping(g_timeseries.resolution);
+  }
+}
+
+// Terminal sparkline summary: one line per headline series that carried
+// traffic this scenario, scaled to its own range over the last 64 windows.
+inline void PrintSparklines(const Cluster& cluster, const std::string& tag) {
+  static const char* kHeadline[] = {
+      "core.suite_client.reads",       "core.suite_client.writes",
+      "core.suite_client.probes_sent", "core.suite_client.unavailable",
+      "net.network.messages_sent",
+  };
+  const TimeSeriesStore& store = cluster.scraper()->store();
+  std::printf("timeseries [%s] %llu windows @ %lldus\n", tag.c_str(),
+              static_cast<unsigned long long>(store.windows_sealed()),
+              static_cast<long long>(store.resolution_us()));
+  for (const char* name : kHeadline) {
+    const std::vector<double> tail = store.SumTail(name, 64);
+    double total = 0.0;
+    for (double v : tail) {
+      total += v;
+    }
+    if (total > 0.0) {
+      std::printf("  %-34s %s\n", name, Sparkline(tail).c_str());
+    }
+  }
+  if (cluster.slo() != nullptr && cluster.slo()->total_breaches() > 0) {
+    std::printf("  SLO breaches:\n%s", cluster.slo()->Summary().c_str());
+  }
+}
+
+// Call once per cluster before it is destroyed; `tag` labels the scenario.
+inline void CollectTimeseries(Cluster& cluster, const std::string& tag) {
+  if (!g_timeseries.active() || cluster.scraper() == nullptr) {
+    return;
+  }
+  const TimeSeriesStore& store = cluster.scraper()->store();
+  if (!g_timeseries.first) {
+    g_timeseries.objects += ",\n";
+  }
+  g_timeseries.first = false;
+  g_timeseries.objects += "{\"tag\":\"" + tag + "\",\"timeseries\":";
+  g_timeseries.objects += store.ExportJson(store.capacity());
+  g_timeseries.objects += ",\"slo_events\":";
+  g_timeseries.objects +=
+      cluster.slo() != nullptr ? cluster.slo()->EventsJson() : std::string("[]");
+  g_timeseries.objects += "}";
+  PrintSparklines(cluster, tag);
+}
+
+// Call once at the end of main(); writes the collected series if
+// --timeseries was given.
+inline void WriteTimeseries() {
+  if (!g_timeseries.active()) {
+    return;
+  }
+  std::FILE* f = std::fopen(g_timeseries.path.c_str(), "w");
+  WVOTE_CHECK_MSG(f != nullptr, "cannot open --timeseries output file");
+  std::fprintf(f, "[\n%s\n]\n", g_timeseries.objects.c_str());
+  std::fclose(f);
+  std::fprintf(stderr, "wrote time-series to %s\n", g_timeseries.path.c_str());
+}
+
 // --smoke support: the bench-smoke ctest label runs every experiment binary
 // end-to-end with shrunk iteration counts and run lengths, so a broken bench
 // fails CI in seconds instead of rotting until the next full run. Each bench
@@ -116,6 +207,22 @@ inline int SmokeIters(int full, int tiny = 5) {
 
 inline Duration SmokeRun(Duration full, Duration tiny = Duration::Seconds(5)) {
   return g_bench_smoke ? (full < tiny ? full : tiny) : full;
+}
+
+// The metrics mode every bench shares, set by ParseBenchFlags.
+inline MetricsMode g_bench_metrics = MetricsMode::kNone;
+
+// One-call parsing of the flags common to every bench: --metrics[=text|json],
+// --smoke, --trace=FILE, and --timeseries=FILE. Sets the bench-wide globals
+// (g_bench_metrics, g_bench_smoke, g_chrome_trace, g_timeseries) and returns
+// the metrics mode for convenience. Call once at the top of main(); benches
+// with extra flags keep parsing argv themselves afterwards.
+inline MetricsMode ParseBenchFlags(int argc, char** argv) {
+  g_bench_metrics = ParseMetricsMode(argc, argv);
+  g_bench_smoke = ParseSmoke(argc, argv);
+  ParseTraceFlag(argc, argv);
+  ParseTimeseriesFlag(argc, argv);
+  return g_bench_metrics;
 }
 
 // Prints one snapshot of `registry`, tagged so sweeps emit one record per
@@ -153,6 +260,7 @@ inline ExampleDeployment DeployExample(const GiffordExample& ex,
   opts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   out.cluster = std::make_unique<Cluster>(opts);
   MaybeEnableTracing(*out.cluster);
+  MaybeEnableScraping(*out.cluster);
   for (const RepresentativeInfo& rep : ex.config.representatives) {
     if (!rep.weak()) {
       out.cluster->AddRepresentative(rep.host_name);

@@ -16,7 +16,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 
 struct Row {
   double read_latency_ms;
@@ -31,6 +30,7 @@ Row RunOne(double write_fraction, bool with_cache) {
   copts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(copts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   cluster.AddRepresentative("server");
 
   SuiteConfig config;
@@ -93,17 +93,16 @@ Row RunOne(double write_fraction, bool with_cache) {
   char tag[48];
   std::snprintf(tag, sizeof(tag), "wf=%.2f cache=%s", write_fraction,
                 with_cache ? "on" : "off");
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return row;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   std::printf("E4: weak representative (client-side cache) under increasing update rate\n");
   std::printf("64KiB file, reader 150ms RTT from the voting representative\n\n");
   std::printf("%-22s | %-34s | %-34s\n", "", "without weak rep", "with weak rep");
@@ -122,5 +121,6 @@ int main(int argc, char** argv) {
   std::printf("\nshape check: at low update rates the cache halves read latency and slashes\n"
               "bytes moved; as updates dominate, hit rate decays and the curves converge.\n");
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

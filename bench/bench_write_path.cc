@@ -34,7 +34,6 @@ using namespace wvote;  // NOLINT: bench brevity
 
 namespace {
 
-MetricsMode g_metrics = MetricsMode::kNone;
 int g_steady_writes = 200;
 int g_crash_writes = 60;
 int g_mixed_pairs = 100;
@@ -93,8 +92,9 @@ LatencyHistogram SteadyWrites(bool sync_phase2, bool drain, const char* tag) {
       cluster.sim().RunFor(Duration::Millis(500));
     }
   }
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return hist;
 }
 
@@ -157,8 +157,9 @@ void CrashScenario() {
           snap.SumCounters("storage.stable_store.writes_completed")),
       static_cast<unsigned long long>(
           snap.SumCounters("storage.group_commit_writes_coalesced")));
-  DumpMetrics(cluster.metrics(), g_metrics, "crash-phase2");
+  DumpMetrics(cluster.metrics(), g_bench_metrics, "crash-phase2");
   CollectChromeTrace(cluster, "crash-phase2");
+  CollectTimeseries(cluster, "crash-phase2");
 }
 
 // --- group commit burst ----------------------------------------------------
@@ -180,6 +181,7 @@ void GroupCommitBurst() {
   opts.rep_options.disk_read_latency = LatencyModel::Fixed(Duration::Micros(200));
   Cluster cluster(opts);
   MaybeEnableTracing(cluster);
+  MaybeEnableScraping(cluster);
   const int votes[] = {2, 1, 1, 1};
   const Duration rtt[] = {Duration::Millis(10), Duration::Millis(30), Duration::Millis(60),
                           Duration::Millis(120)};
@@ -225,8 +227,9 @@ void GroupCommitBurst() {
           delta.SumCounters("storage.stable_store.writes_completed")),
       static_cast<unsigned long long>(
           delta.SumCounters("storage.group_commit_writes_coalesced")));
-  DumpMetrics(cluster.metrics(), g_metrics, "group-commit-burst");
+  DumpMetrics(cluster.metrics(), g_bench_metrics, "group-commit-burst");
   CollectChromeTrace(cluster, "group-commit-burst");
+  CollectTimeseries(cluster, "group-commit-burst");
 }
 
 // --- mixed -----------------------------------------------------------------
@@ -257,8 +260,9 @@ MixedResult MixedWorkload(bool sync_phase2, const char* tag) {
     out.reads.Record(cluster.sim().Now() - t0);
   }
   out.elapsed = cluster.sim().Now() - start;
-  DumpMetrics(cluster.metrics(), g_metrics, tag);
+  DumpMetrics(cluster.metrics(), g_bench_metrics, tag);
   CollectChromeTrace(cluster, tag);
+  CollectTimeseries(cluster, tag);
   return out;
 }
 
@@ -270,9 +274,7 @@ void PrintWriteRow(const char* label, const LatencyHistogram& hist, double model
 }  // namespace
 
 int main(int argc, char** argv) {
-  g_metrics = ParseMetricsMode(argc, argv);
-  g_bench_smoke = ParseSmoke(argc, argv);
-  ParseTraceFlag(argc, argv);
+  ParseBenchFlags(argc, argv);
   g_steady_writes = SmokeIters(g_steady_writes, /*tiny=*/10);
   g_crash_writes = SmokeIters(g_crash_writes, /*tiny=*/8);
   g_mixed_pairs = SmokeIters(g_mixed_pairs, /*tiny=*/10);
@@ -327,5 +329,6 @@ int main(int argc, char** argv) {
       "phase-2 delivery.\n",
       sync_ms - async_ms);
   WriteChromeTrace();
+  WriteTimeseries();
   return 0;
 }

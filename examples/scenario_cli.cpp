@@ -12,9 +12,11 @@
 //   scenario_cli --votes 2,1,1 --r 2 --w 3 --latency-ms 75,100,750
 //   scenario_cli --reps 3 --r 2 --w 2 --availability 0.9 --seconds 300
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -57,6 +59,7 @@ struct Args {
   bool metrics = false;
   bool metrics_json = false;
   std::string trace_path;           // --trace=FILE: Chrome-trace JSON export
+  std::string timeseries_path;      // --timeseries=FILE: sim-time series export
 };
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -105,6 +108,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (std::strncmp(flag.c_str(), "--trace=", 8) == 0) {
       args->trace_path = flag.substr(8);
+    } else if (std::strncmp(flag.c_str(), "--timeseries=", 13) == 0) {
+      args->timeseries_path = flag.substr(13);
     } else if (flag == "--metrics" || flag == "--metrics=text") {
       args->metrics = true;
     } else if (flag == "--metrics=json") {
@@ -133,16 +138,25 @@ int main(int argc, char** argv) {
                  "          [--latency-ms l1,l2,..] [--read-fraction F] [--clients C]\n"
                  "          [--seconds S] [--value-bytes B] [--availability P]\n"
                  "          [--seed X] [--strategy lowest|fewest|broadcast]\n"
-                 "          [--metrics[=json]] [--trace=FILE]\n",
+                 "          [--metrics[=json]] [--trace=FILE] [--timeseries=FILE]\n",
                  argv[0]);
     return 2;
   }
 
   ClusterOptions copts;
   copts.seed = args.seed;
+  if (!args.timeseries_path.empty()) {
+    // Size the ring to hold the whole run (plus drain slack past the
+    // horizon) so the export and sparklines cover the traffic, not just the
+    // idle tail.
+    copts.scrape_window_capacity = static_cast<size_t>(args.seconds) * 100 + 4096;
+  }
   Cluster cluster(copts);
   if (!args.trace_path.empty()) {
     cluster.tracer().Enable(true);
+  }
+  if (!args.timeseries_path.empty()) {
+    cluster.EnableScraping(Duration::Millis(10));
   }
 
   SuiteConfig config;
@@ -237,6 +251,53 @@ int main(int argc, char** argv) {
     std::fprintf(f, "%s\n", cluster.tracer().ExportChromeTrace().c_str());
     std::fclose(f);
     std::fprintf(stderr, "wrote Chrome trace to %s\n", args.trace_path.c_str());
+  }
+  if (!args.timeseries_path.empty() && cluster.scraper() != nullptr) {
+    const TimeSeriesStore& store = cluster.scraper()->store();
+    std::FILE* f = std::fopen(args.timeseries_path.c_str(), "w");
+    WVOTE_CHECK_MSG(f != nullptr, "cannot open --timeseries output file");
+    std::fprintf(f, "{\"timeseries\":%s,\"slo_events\":%s}\n",
+                 store.ExportJson(store.capacity()).c_str(),
+                 cluster.slo() != nullptr ? cluster.slo()->EventsJson().c_str() : "[]");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %llu windows of time-series to %s\n",
+                 static_cast<unsigned long long>(store.windows_sealed()),
+                 args.timeseries_path.c_str());
+    // Terminal sparkline summary for the headline series. The sim drains
+    // in-flight work past the workload horizon, so the newest windows are
+    // idle; trim the all-zero tail before picking the last 64.
+    const char* kHeadline[] = {"core.suite_client.reads", "core.suite_client.writes",
+                               "core.suite_client.unavailable",
+                               "net.network.messages_sent"};
+    std::map<std::string, std::vector<double>> tails;
+    size_t last_active = 0;
+    for (const char* name : kHeadline) {
+      std::vector<double> all = store.SumTail(name, store.capacity());
+      for (size_t i = 0; i < all.size(); ++i) {
+        if (all[i] != 0.0) last_active = std::max(last_active, i + 1);
+      }
+      tails[name] = std::move(all);
+    }
+    // One glyph per chunk of windows, whole active run left to right.
+    const size_t active = std::max<size_t>(last_active, 1);
+    const size_t chunk = (active + 63) / 64;
+    std::printf("\nsim-time series (%zu active windows @ %llu us, %zu per glyph):\n", active,
+                static_cast<unsigned long long>(store.resolution_us()), chunk);
+    for (const char* name : kHeadline) {
+      std::vector<double>& tail = tails[name];
+      if (tail.empty()) continue;
+      tail.resize(active);
+      std::vector<double> cols;
+      for (size_t i = 0; i < tail.size(); i += chunk) {
+        double sum = 0;
+        for (size_t j = i; j < std::min(tail.size(), i + chunk); ++j) sum += tail[j];
+        cols.push_back(sum);
+      }
+      std::printf("  %-34s %s\n", name, Sparkline(cols).c_str());
+    }
+    if (cluster.slo() != nullptr) {
+      std::printf("%s", cluster.slo()->Summary().c_str());
+    }
   }
   return 0;
 }

@@ -205,6 +205,9 @@ ChaosRunOutcome RunChaosWithSchedule(const ChaosRunSpec& spec,
   // before the convergence read, or wait-die kills it as the youngest txn.
   // Still orders of magnitude above this workload's sub-second transactions.
   opts.rep_options.participant.lock_lease = Duration::Seconds(5);
+  if (spec.scrape_resolution > Duration::Zero()) {
+    opts.scrape_resolution = spec.scrape_resolution;
+  }
   Cluster cluster(opts);
   if (spec.collect_trace) {
     cluster.tracer().Enable(true);
@@ -285,6 +288,14 @@ ChaosRunOutcome RunChaosWithSchedule(const ChaosRunSpec& spec,
     bool first = true;
     cluster.tracer().AppendChromeEvents(&outcome.chrome_trace, &first, 0, "chaos");
   }
+  if (cluster.scraper() != nullptr) {
+    outcome.timeseries_json =
+        cluster.scraper()->store().ExportJson(cluster.scraper()->store().capacity());
+    outcome.flight_record = cluster.DumpFlightRecord();
+    if (cluster.slo() != nullptr) {
+      outcome.slo_breaches = cluster.slo()->total_breaches();
+    }
+  }
   return outcome;
 }
 
@@ -342,6 +353,13 @@ std::string DumpArtifact(const ChaosRunSpec& spec, const FaultSchedule& schedule
   out += '\n';
   if (!outcome.chrome_trace.empty()) {
     out += "--- trace\n{\"traceEvents\":[\n" + outcome.chrome_trace + "\n]}\n";
+  }
+  if (!outcome.flight_record.empty()) {
+    // Like every section after "--- report", replay-invisible: the parser
+    // stops at the first "---" line.
+    out += "--- flight-recorder\n";
+    out += outcome.flight_record;
+    out += '\n';
   }
   return out;
 }

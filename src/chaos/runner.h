@@ -61,6 +61,13 @@ struct ChaosRunSpec {
   // every switch: strategies only change *which* current representatives a
   // quorum is gathered from, never the quorum arithmetic itself.
   bool rotate_strategies = false;
+  // Sim-time metrics scraping during the run (zero = off). Pure
+  // observability: scraping rides the simulator metronome outside the timer
+  // wheel, so the run's event schedule, history, check result, and metrics
+  // snapshot are bit-identical with or without it. Deliberately NOT
+  // serialized into artifacts — a replay reproduces the failure with
+  // whatever scraping the replayer wants.
+  Duration scrape_resolution = Duration::Zero();
 };
 
 struct ChaosRunOutcome {
@@ -75,6 +82,10 @@ struct ChaosRunOutcome {
   uint64_t strategy_rotations = 0;     // mid-run policy switches applied
   std::string metrics_json;   // registry snapshot at run end
   std::string chrome_trace;   // traceEvents bodies (collect_trace only)
+  // Scraping only (spec.scrape_resolution > 0), empty otherwise:
+  std::string timeseries_json;  // full exported time-series tail
+  std::string flight_record;    // last-windows + SLO events + trace tail
+  uint64_t slo_breaches = 0;    // SLO rules that entered breach during the run
 };
 
 // Expands the spec's template under its seed and runs it.

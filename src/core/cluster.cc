@@ -1,6 +1,9 @@
 #include "src/core/cluster.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "src/obs/flight_recorder.h"
 
 namespace wvote {
 
@@ -21,6 +24,56 @@ Cluster::Cluster(ClusterOptions options)
   });
   net_.RegisterMetrics(&metrics_);
   sim_.RegisterMetrics(&metrics_);
+  if (options_.scrape_resolution > Duration::Zero()) {
+    EnableScraping(options_.scrape_resolution);
+  }
+}
+
+void Cluster::EnableScraping(Duration resolution) {
+  if (scraper_ != nullptr) {
+    return;
+  }
+  ScraperOptions sopts;
+  sopts.resolution = resolution;
+  sopts.window_capacity = options_.scrape_window_capacity;
+  scraper_ = std::make_unique<Scraper>(&metrics_, sopts);
+  if (options_.slo_engine) {
+    slo_ = std::make_unique<SloEngine>(SloEngine::DefaultRules());
+    if (options_.slo_breadcrumbs) {
+      slo_->AddListener([this](const SloEvent& ev) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%s value=%.4g limit=%.4g", ev.rule.c_str(), ev.value,
+                      ev.limit);
+        trace_.Record(kInvalidHost,
+                      ev.breach ? TraceKind::kSloBreach : TraceKind::kSloRecovered, buf);
+      });
+    }
+    scraper_->AddObserver(
+        [this](TimePoint now, const TimeSeriesStore& store) { slo_->Evaluate(now, store); });
+  }
+  // The metronome fires outside the timer wheel: no event nodes, no
+  // sequence numbers, so replays with and without scraping are bit-exact.
+  sim_.SetMetronome(resolution, [this](TimePoint now) { scraper_->ScrapeAt(now); });
+}
+
+std::string Cluster::DumpFlightRecord(size_t windows, size_t trace_lines) const {
+  if (scraper_ == nullptr) {
+    return "";
+  }
+  std::vector<std::string> tail;
+  const std::string dump = trace_.Dump(trace_lines);
+  size_t start = 0;
+  while (start < dump.size()) {
+    size_t end = dump.find('\n', start);
+    if (end == std::string::npos) {
+      end = dump.size();
+    }
+    if (end > start) {
+      tail.push_back(dump.substr(start, end - start));
+    }
+    start = end + 1;
+  }
+  return wvote::DumpFlightRecord(scraper_->store(), slo_.get(), tail, windows);
 }
 
 RepresentativeServer* Cluster::AddRepresentative(const std::string& host_name) {

@@ -20,6 +20,8 @@
 #include "src/core/weak_rep.h"
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeseries.h"
 #include "src/sim/simulator.h"
 #include "src/trace/span.h"
 #include "src/trace/trace.h"
@@ -36,6 +38,18 @@ struct ClusterOptions {
   // Root spans outliving this dump their whole span tree into the TraceLog
   // (TraceKind::kSlowOp). Zero disables the slow-op log.
   Duration slow_op_threshold = Duration::Zero();
+  // Sim-time metrics scraping (the time-series layer). Zero disables; a
+  // positive resolution attaches a Scraper to the simulator metronome at
+  // construction (EnableScraping does the same after construction).
+  // Scraping rides outside the timer wheel, so the event schedule — and any
+  // golden replay pinned to it — is identical with or without it.
+  Duration scrape_resolution = Duration::Zero();
+  size_t scrape_window_capacity = 512;
+  // With scraping on: evaluate SloEngine::DefaultRules() on every sealed
+  // window, and (with breadcrumbs) record kSloBreach / kSloRecovered
+  // transitions into the trace log.
+  bool slo_engine = true;
+  bool slo_breadcrumbs = true;
 };
 
 class Cluster {
@@ -56,6 +70,21 @@ class Cluster {
   // here automatically; snapshot/export it for benches and tests.
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Attaches the sim-time scraper (and, per options, the SLO engine) at
+  // `resolution`, driven by the simulator metronome. No-op if scraping is
+  // already on.
+  void EnableScraping(Duration resolution);
+
+  // Null until EnableScraping (or a nonzero options.scrape_resolution).
+  Scraper* scraper() { return scraper_.get(); }
+  const Scraper* scraper() const { return scraper_.get(); }
+  SloEngine* slo() { return slo_.get(); }
+  const SloEngine* slo() const { return slo_.get(); }
+
+  // Flight-recorder JSON: the last `windows` time-series windows, every SLO
+  // transition, and the trace log tail. Empty string when scraping is off.
+  std::string DumpFlightRecord(size_t windows = 64, size_t trace_lines = 40) const;
 
   // Adds a file-server host running a RepresentativeServer.
   RepresentativeServer* AddRepresentative(const std::string& host_name);
@@ -122,6 +151,8 @@ class Cluster {
   // it) holds a raw pointer to the tracer.
   Tracer tracer_;
   Network net_;
+  std::unique_ptr<Scraper> scraper_;
+  std::unique_ptr<SloEngine> slo_;
   std::map<std::string, std::unique_ptr<RepresentativeServer>> reps_;
   std::map<std::string, ClientStack> clients_;
 };

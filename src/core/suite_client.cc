@@ -142,6 +142,8 @@ void SuiteClientStats::RegisterWith(MetricsRegistry* registry, const MetricLabel
   registry->RegisterCounter("core.suite_client.refreshes_spawned", labels,
                             &refreshes_spawned);
   registry->RegisterCounter("core.suite_client.unavailable", labels, &unavailable);
+  registry->RegisterCounter("core.suite_client.read_unavailable", labels, &read_unavailable);
+  registry->RegisterCounter("core.suite_client.write_unavailable", labels, &write_unavailable);
   registry->RegisterCounter("core.suite_client.conflicts", labels, &conflicts);
   registry->RegisterCounter("core.suite_client.retries", labels, &retries);
   registry->RegisterCounter("core.suite_client.commit_bytes_serialized", labels,
@@ -425,6 +427,9 @@ Task<Result<SuiteClient::GatherResult>> SuiteClient::Gather(
   }
   if (out.votes < required_votes) {
     ++stats_.unavailable;
+    // The SLO layer tracks read and write availability separately; the lock
+    // mode says which quorum this gather was for.
+    ++(exclusive ? stats_.write_unavailable : stats_.read_unavailable);
     if (TraceLog* trace = net_->trace()) {
       trace->Record(rpc_->host_id(), TraceKind::kQuorumFailed,
                     config_.suite_name + " " + std::to_string(out.votes) + "/" +

@@ -75,7 +75,9 @@ struct SuiteClientStats {
   uint64_t gather_rounds = 0;
   uint64_t config_refreshes = 0;
   uint64_t refreshes_spawned = 0;
-  uint64_t unavailable = 0;
+  uint64_t unavailable = 0;        // total failed gathers (both kinds)
+  uint64_t read_unavailable = 0;   // shared-lock gathers that missed r
+  uint64_t write_unavailable = 0;  // exclusive-lock gathers that missed w
   uint64_t conflicts = 0;
   uint64_t retries = 0;  // one-shot helper attempts after the first
   uint64_t commit_bytes_serialized = 0;  // versioned-value bytes built by

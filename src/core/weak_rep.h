@@ -26,6 +26,12 @@ struct WeakRepStats {
   uint64_t hits = 0;     // version-checked local serves
   uint64_t misses = 0;   // stale or absent; bulk fetch required
   uint64_t updates = 0;  // entries installed/refreshed
+  // Tripwire, zero by construction: a lookup whose quorum-proven "current"
+  // version is OLDER than a copy this cache already saw committed. That can
+  // only happen if a read quorum missed a write — i.e. r + w > V was
+  // violated (e.g. by a bad reconfiguration). The staleness-never SLO rule
+  // watches it.
+  uint64_t stale_serves = 0;
 
   void Reset() { *this = WeakRepStats{}; }
   // Registers every field as `core.weak_rep.*{labels}`; this struct must
@@ -34,6 +40,7 @@ struct WeakRepStats {
     registry->RegisterCounter("core.weak_rep.hits", labels, &hits);
     registry->RegisterCounter("core.weak_rep.misses", labels, &misses);
     registry->RegisterCounter("core.weak_rep.updates", labels, &updates);
+    registry->RegisterCounter("core.weak_rep.stale_serves", labels, &stale_serves);
     registry->AddResetHook([this]() { Reset(); });
   }
 };
@@ -51,6 +58,9 @@ class WeakRepresentative {
     if (it != cache_.end() && it->second.version == current_version) {
       ++stats_.hits;
       return &it->second.contents;
+    }
+    if (it != cache_.end() && it->second.version > current_version) {
+      ++stats_.stale_serves;
     }
     ++stats_.misses;
     return nullptr;

@@ -1,0 +1,62 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace wvote {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DumpFlightRecord(const TimeSeriesStore& store, const SloEngine* slo,
+                             const std::vector<std::string>& trace_tail,
+                             size_t last_windows) {
+  char buf[48];
+  std::string out = "{\"last_windows\":";
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(last_windows));
+  out += buf;
+  out += ",\"timeseries\":";
+  out += store.ExportJson(last_windows);
+  out += ",\"slo_events\":";
+  out += slo != nullptr ? slo->EventsJson() : "[]";
+  out += ",\"trace_tail\":[";
+  for (size_t i = 0; i < trace_tail.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"' + JsonEscape(trace_tail[i]) + '"';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace wvote

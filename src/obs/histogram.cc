@@ -106,6 +106,73 @@ void LatencyHistogram::Reset() {
   max_us_ = 0;
 }
 
+LatencyHistogram LatencyHistogram::DeltaSince(const LatencyHistogram& prev) const {
+  LatencyHistogram out;
+  if (prev.count_ > count_) {
+    // A reset happened between the snapshots; everything currently recorded
+    // belongs to the window.
+    out = *this;
+    return out;
+  }
+  WVOTE_CHECK(buckets_.size() == prev.buckets_.size());
+  bool any = false;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    WVOTE_DCHECK(buckets_[i] >= prev.buckets_[i]);
+    const uint64_t d = buckets_[i] - prev.buckets_[i];
+    out.buckets_[i] = d;
+    if (d > 0) {
+      if (!any) {
+        out.min_us_ = BucketLowerBound(i);
+        any = true;
+      }
+      out.max_us_ = BucketLowerBound(i);
+    }
+  }
+  out.count_ = count_ - prev.count_;
+  out.sum_us_ = sum_us_ - prev.sum_us_;
+  return out;
+}
+
+void LatencyHistogram::DeltaStatsSince(const LatencyHistogram& prev, uint64_t* count,
+                                       int64_t* p50_us, int64_t* p99_us,
+                                       int64_t* max_us) const {
+  // Same reset semantics as DeltaSince: prev ahead of us means the sources
+  // were reset, and everything currently recorded belongs to the window.
+  const bool reset = prev.count_ > count_;
+  const uint64_t n = reset ? count_ : count_ - prev.count_;
+  *count = n;
+  *p50_us = 0;
+  *p99_us = 0;
+  *max_us = 0;
+  if (n == 0) {
+    return;
+  }
+  WVOTE_CHECK(buckets_.size() == prev.buckets_.size());
+  // Percentile()'s rank rule, applied to the bucket deltas.
+  const uint64_t t50 = static_cast<uint64_t>(0.50 * static_cast<double>(n - 1));
+  const uint64_t t99 = static_cast<uint64_t>(0.99 * static_cast<double>(n - 1));
+  uint64_t seen = 0;
+  bool have50 = false;
+  bool have99 = false;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t d = reset ? buckets_[i] : buckets_[i] - prev.buckets_[i];
+    if (d == 0) {
+      continue;
+    }
+    seen += d;
+    const int64_t lb = BucketLowerBound(i);
+    if (!have50 && seen > t50) {
+      *p50_us = lb;
+      have50 = true;
+    }
+    if (!have99 && seen > t99) {
+      *p99_us = lb;
+      have99 = true;
+    }
+    *max_us = lb;
+  }
+}
+
 void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
   WVOTE_CHECK(buckets_.size() == other.buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {

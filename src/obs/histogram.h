@@ -33,6 +33,22 @@ class LatencyHistogram {
   void Reset();
   void MergeFrom(const LatencyHistogram& other);
 
+  // Windowed sketch: the samples recorded in `*this` since `prev` was a
+  // snapshot of the same monotone histogram (bucket-wise subtraction).
+  // Percentiles of the result are the window's percentiles at bucket
+  // resolution; min/max are bucket lower bounds (the exact extrema are not
+  // recoverable from bucket deltas). A `prev` with more samples than `*this`
+  // (the histogram was reset between snapshots) yields the full current
+  // contents, treating the reset as the window start.
+  LatencyHistogram DeltaSince(const LatencyHistogram& prev) const;
+
+  // DeltaSince's summary stats in one bucket scan with no allocation —
+  // count, p50/p99 bucket lower bounds, and max bucket lower bound of the
+  // window — for callers on a per-tick path (the time-series scraper) that
+  // would otherwise materialize and re-scan a whole histogram per window.
+  void DeltaStatsSince(const LatencyHistogram& prev, uint64_t* count, int64_t* p50_us,
+                       int64_t* p99_us, int64_t* max_us) const;
+
  private:
   static size_t BucketFor(int64_t us);
   static int64_t BucketLowerBound(size_t bucket);

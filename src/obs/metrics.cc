@@ -262,6 +262,27 @@ bool MetricsRegistry::Contains(const std::string& name, const MetricLabels& labe
          std::any_of(histogram_sources_.begin(), histogram_sources_.end(), match);
 }
 
+void MetricsRegistry::VisitCounterSources(
+    const std::function<void(const std::string&, const uint64_t*)>& fn) const {
+  for (const CounterSource& c : counter_sources_) {
+    fn(c.key, c.source);
+  }
+}
+
+void MetricsRegistry::VisitGaugeSources(
+    const std::function<void(const std::string&, const std::function<double()>*)>& fn) const {
+  for (const GaugeSource& g : gauge_sources_) {
+    fn(g.key, &g.source);
+  }
+}
+
+void MetricsRegistry::VisitHistogramSources(
+    const std::function<void(const std::string&, const LatencyHistogram*)>& fn) const {
+  for (const HistogramSource& h : histogram_sources_) {
+    fn(h.key, h.source);
+  }
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot out;
   for (const CounterSource& c : counter_sources_) {

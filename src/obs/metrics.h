@@ -109,6 +109,19 @@ class MetricsRegistry {
   size_t num_metrics() const;
   bool Contains(const std::string& name, const MetricLabels& labels = {}) const;
 
+  // Read-only source visitation in registration order, same-key sources
+  // repeated (callers aggregate). The time-series Scraper builds its flat
+  // sampling plan through these instead of paying Snapshot()'s map and
+  // string construction on every sim-time tick. The visited pointers stay
+  // valid until sources are registered or owned metrics created — callers
+  // that cache them must rebuild when num_metrics() changes.
+  void VisitCounterSources(
+      const std::function<void(const std::string&, const uint64_t*)>& fn) const;
+  void VisitGaugeSources(
+      const std::function<void(const std::string&, const std::function<double()>*)>& fn) const;
+  void VisitHistogramSources(
+      const std::function<void(const std::string&, const LatencyHistogram*)>& fn) const;
+
   MetricsSnapshot Snapshot() const;
   MetricsSnapshot Delta(const MetricsSnapshot& base) const { return Snapshot().Delta(base); }
   std::string ExportText() const { return Snapshot().ToText(); }

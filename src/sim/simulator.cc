@@ -145,6 +145,12 @@ bool Simulator::Step(TimePoint limit) {
       continue;
     }
     WVOTE_DCHECK(tick >= static_cast<uint64_t>(now_.ToMicros()));
+    if (metronome_hook_ && metronome_next_us_ <= tick) {
+      // Close every sample window the clock is about to pass before the
+      // event that crosses it runs; a deadline landing exactly on `tick`
+      // samples before same-timestamp events execute.
+      FireMetronomeUpTo(tick);
+    }
     now_ = TimePoint::FromMicros(static_cast<int64_t>(tick));
     ++stats_.events_processed;
     node->run(node);  // runs and destroys the callback
@@ -163,10 +169,57 @@ size_t Simulator::RunUntil(TimePoint limit) {
   while (Step(limit)) {
     ++n;
   }
+  if (metronome_hook_) {
+    // Deadlines between the last event and the limit still close their
+    // windows even though no event crosses them.
+    FireMetronomeUpTo(static_cast<uint64_t>(limit.ToMicros()));
+  }
   if (limit > now_) {
     now_ = limit;
   }
   return n;
+}
+
+void Simulator::SetMetronome(Duration period, std::function<void(TimePoint)> hook,
+                             uint64_t max_catchup) {
+  WVOTE_CHECK_MSG(period > Duration::Zero(), "metronome period must be positive");
+  metronome_hook_ = std::move(hook);
+  metronome_period_us_ = static_cast<uint64_t>(period.ToMicros());
+  metronome_max_catchup_ = max_catchup == 0 ? 1 : max_catchup;
+  // Anchor at the first multiple of the period strictly after Now(), so fire
+  // times are period-aligned regardless of when the metronome was attached.
+  const uint64_t now_us = static_cast<uint64_t>(now_.ToMicros());
+  metronome_next_us_ = (now_us / metronome_period_us_ + 1) * metronome_period_us_;
+}
+
+void Simulator::ClearMetronome() {
+  metronome_hook_ = nullptr;
+  metronome_period_us_ = 0;
+  metronome_next_us_ = 0;
+}
+
+void Simulator::FireMetronomeUpTo(uint64_t t_us) {
+  if (!metronome_hook_ || metronome_next_us_ > t_us) {
+    return;
+  }
+  // Bound the deadlines fired for one clock advance: a jump across a long
+  // idle gap skips the stale ones (keeping period alignment) instead of
+  // grinding through millions of samples of a provably idle simulation.
+  const uint64_t due = (t_us - metronome_next_us_) / metronome_period_us_ + 1;
+  if (due > metronome_max_catchup_) {
+    metronome_next_us_ +=
+        (due - metronome_max_catchup_) * metronome_period_us_;
+  }
+  in_metronome_ = true;
+  while (metronome_next_us_ <= t_us) {
+    const TimePoint at = TimePoint::FromMicros(static_cast<int64_t>(metronome_next_us_));
+    if (at > now_) {
+      now_ = at;
+    }
+    metronome_next_us_ += metronome_period_us_;
+    metronome_hook_(at);
+  }
+  in_metronome_ = false;
 }
 
 void Simulator::RegisterMetrics(MetricsRegistry* registry) {

@@ -29,6 +29,7 @@
 #include <coroutine>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <new>
 #include <type_traits>
@@ -166,6 +167,8 @@ class Simulator {
   template <typename F>
   EventHandle ScheduleAt(TimePoint when, F&& fn) {
     WVOTE_CHECK_MSG(when >= now_, "cannot schedule in the past");
+    WVOTE_CHECK_MSG(!in_metronome_,
+                    "metronome hooks are pure observers and must not schedule events");
     sim_internal::EventNode* node = AcquireNode();
     node->when_us = static_cast<uint64_t>(when.ToMicros());
     node->seq = next_seq_++;
@@ -203,6 +206,26 @@ class Simulator {
   // Called by the network when a delivery was folded into an existing event
   // instead of scheduling a new one.
   void NoteCoalesced() { ++stats_.events_coalesced; }
+
+  // Sim-time metronome: runs `hook` every time the clock is about to pass
+  // the next multiple of `period` (fired lazily, just before the event that
+  // crosses the deadline, or when RunUntil advances the clock to its limit).
+  // Unlike Schedule(), the metronome lives outside the timer wheel: it
+  // consumes no event nodes and no sequence numbers, so enabling it cannot
+  // perturb event ordering, rng streams, or delivery coalescing — golden
+  // replays stay bit-exact with a metronome attached. That property is
+  // load-bearing for the metrics scraper (DESIGN §15). In exchange the hook
+  // must be a pure observer: scheduling events from inside it is a checked
+  // error (an event inserted there could predate the event already popped
+  // from the wheel). One metronome per simulator; setting a new one
+  // re-anchors the next deadline at the first multiple of `period` after
+  // Now(). `max_catchup` bounds deadlines fired per clock advance: if the
+  // clock jumps further (a long idle gap), older deadlines are skipped and
+  // the hook's first call after the gap is late — observers that need dense
+  // windows backfill from the gap they see in the fire times.
+  void SetMetronome(Duration period, std::function<void(TimePoint)> hook,
+                    uint64_t max_catchup = 256);
+  void ClearMetronome();
 
   // Registers `sim.events_*` counters plus a wall-clock `sim.events_per_sec`
   // gauge (events processed since registration over wall seconds since
@@ -263,12 +286,20 @@ class Simulator {
   // Pops and runs the next event. Returns false if the queue is empty or the
   // next event is after `limit`.
   bool Step(TimePoint limit);
+  // Fires metronome deadlines (at most max_catchup of them) up to and
+  // including `t_us`, advancing the clock to each deadline as it fires.
+  void FireMetronomeUpTo(uint64_t t_us);
   void NoteCancelled() { ++stats_.events_cancelled; }
 
   TimePoint now_;
   uint64_t next_seq_ = 0;
   size_t pending_ = 0;
   SimStats stats_;
+  std::function<void(TimePoint)> metronome_hook_;
+  uint64_t metronome_period_us_ = 0;
+  uint64_t metronome_next_us_ = 0;
+  uint64_t metronome_max_catchup_ = 0;
+  bool in_metronome_ = false;
   Level levels_[kLevels];
   std::vector<std::unique_ptr<sim_internal::EventNode[]>> chunks_;
   sim_internal::EventNode* free_ = nullptr;

@@ -35,6 +35,10 @@ const char* TraceKindName(TraceKind kind) {
       return "decision-logged";
     case TraceKind::kSlowOp:
       return "slow-op";
+    case TraceKind::kSloBreach:
+      return "slo-breach";
+    case TraceKind::kSloRecovered:
+      return "slo-recovered";
     case TraceKind::kCustom:
       return "custom";
     case TraceKind::kNumKinds:

@@ -39,6 +39,8 @@ enum class TraceKind : uint8_t {
   kPhase2Completed,  // background phase-2 fanout / retrier converged (txn in detail)
   kDecisionLogged,   // coordinator durably logged commit, phase 2 not yet sent
   kSlowOp,           // root span exceeded the slow-op threshold (tree in detail)
+  kSloBreach,        // an SLO rule entered breach (rule + value in detail)
+  kSloRecovered,     // an SLO rule recovered after its hysteresis window
   kCustom,
   kNumKinds,  // sentinel — keep last, never record
 };

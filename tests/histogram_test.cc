@@ -1,4 +1,4 @@
-#include "src/workload/histogram.h"
+#include "src/obs/histogram.h"
 
 #include <gtest/gtest.h>
 
@@ -92,6 +92,41 @@ TEST(HistogramTest, SummaryMentionsCount) {
   LatencyHistogram h;
   h.Record(Duration::Millis(10));
   EXPECT_NE(h.Summary().find("n=1"), std::string::npos);
+}
+
+TEST(HistogramTest, DeltaSinceIsolatesTheWindow) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  h.Record(Duration::Millis(10));
+  LatencyHistogram prev = h;  // snapshot at window start
+  h.Record(Duration::Millis(100));
+  h.Record(Duration::Millis(100));
+  h.Record(Duration::Millis(100));
+  const LatencyHistogram window = h.DeltaSince(prev);
+  EXPECT_EQ(window.count(), 3u);
+  // Only the 100ms samples landed in the window, so its median sits at the
+  // 100ms bucket, not between 10 and 100.
+  EXPECT_NEAR(window.Percentile(50).ToMillis(), 100.0, 3.0);
+}
+
+TEST(HistogramTest, DeltaSinceEmptyWindow) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  const LatencyHistogram window = h.DeltaSince(h);
+  EXPECT_EQ(window.count(), 0u);
+}
+
+TEST(HistogramTest, DeltaSinceAfterResetYieldsCurrentContents) {
+  LatencyHistogram h;
+  h.Record(Duration::Millis(10));
+  h.Record(Duration::Millis(20));
+  LatencyHistogram prev = h;
+  h.Reset();
+  h.Record(Duration::Millis(30));
+  // prev has more samples than *this: the reset is the window start.
+  const LatencyHistogram window = h.DeltaSince(prev);
+  EXPECT_EQ(window.count(), 1u);
+  EXPECT_NEAR(window.Percentile(50).ToMillis(), 30.0, 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Scraping must be pure observation. The scraper rides the simulator
+// metronome — no event nodes, no sequence numbers — so a chaos run with
+// sim-time scraping enabled must execute the exact same event schedule as
+// one without: byte-identical history, checker report, and metrics
+// snapshot. These tests pin that contract for fresh runs and for replays
+// of minimized failure artifacts.
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/runner.h"
+
+namespace wvote {
+namespace {
+
+ChaosRunSpec SmallSpec(uint64_t seed, const std::string& tmpl) {
+  ChaosRunSpec spec;
+  spec.seed = seed;
+  spec.schedule_template = tmpl;
+  spec.suite = DefaultSuiteSpecs()[1];  // r2w2x3
+  spec.clients = 2;
+  spec.ops_per_client = 12;
+  return spec;
+}
+
+// The artifact with scraping on is the scraping-off artifact plus a
+// trailing flight-recorder section (which ParseArtifact ignores).
+std::string StripFlightRecorder(const std::string& artifact) {
+  const size_t pos = artifact.find("--- flight-recorder");
+  return pos == std::string::npos ? artifact : artifact.substr(0, pos);
+}
+
+TEST(ScrapeDeterminism, ChaosRunsAreBitExactWithScrapingOnVsOff) {
+  for (const std::string& tmpl : {std::string("partitions"), std::string("crash_churn")}) {
+    const ChaosRunSpec off = SmallSpec(7, tmpl);
+    ChaosRunSpec on = off;
+    on.scrape_resolution = Duration::Millis(10);
+
+    ChaosRunOutcome a = RunChaos(off);
+    ChaosRunOutcome b = RunChaos(on);
+
+    // Scraping actually happened...
+    EXPECT_TRUE(a.timeseries_json.empty()) << tmpl;
+    EXPECT_FALSE(b.timeseries_json.empty()) << tmpl;
+    EXPECT_FALSE(b.flight_record.empty()) << tmpl;
+
+    // ...and was invisible: schedule, history (with sim timestamps),
+    // checker report, and the full metrics snapshot are byte-identical.
+    EXPECT_EQ(DumpArtifact(off, a.schedule, a),
+              StripFlightRecorder(DumpArtifact(on, b.schedule, b)))
+        << tmpl;
+    EXPECT_EQ(a.metrics_json, b.metrics_json) << tmpl;
+  }
+}
+
+TEST(ScrapeDeterminism, MinimizedArtifactReplaysBitExactUnderScraping) {
+  // Find a negative-control failure and minimize it, exactly as bench_chaos
+  // does before writing an artifact.
+  ChaosRunSpec failing_spec;
+  FaultSchedule failing_schedule;
+  bool found = false;
+  for (uint64_t seed = 1; seed <= 8 && !found; ++seed) {
+    ChaosRunSpec spec;
+    spec.seed = seed;
+    spec.schedule_template = "partitions";
+    spec.suite = NegativeControlSuite();
+    ChaosRunOutcome outcome = RunChaos(spec);
+    if (!outcome.check.ok()) {
+      failing_spec = spec;
+      failing_schedule = outcome.schedule;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "broken quorum config never violated under partitions";
+  const FaultSchedule minimized = MinimizeSchedule(failing_spec, failing_schedule);
+
+  // Replaying the minimized schedule with scraping on reproduces the exact
+  // verdict of the plain replay — the flight recorder only ADDS a section.
+  ChaosRunOutcome plain = RunChaosWithSchedule(failing_spec, minimized);
+  ChaosRunSpec scraped_spec = failing_spec;
+  scraped_spec.scrape_resolution = Duration::Millis(10);
+  ChaosRunOutcome scraped = RunChaosWithSchedule(scraped_spec, minimized);
+
+  ASSERT_FALSE(plain.check.ok());
+  EXPECT_EQ(plain.check.Report(minimized), scraped.check.Report(minimized));
+  EXPECT_EQ(plain.metrics_json, scraped.metrics_json);
+  EXPECT_EQ(DumpArtifact(failing_spec, minimized, plain),
+            StripFlightRecorder(DumpArtifact(scraped_spec, minimized, scraped)));
+  EXPECT_FALSE(scraped.flight_record.empty());
+
+  // And the scraped artifact parses back to the same replayable half — the
+  // flight-recorder section is invisible to ParseArtifact.
+  Result<ChaosReplayFile> parsed =
+      ParseArtifact(DumpArtifact(scraped_spec, minimized, scraped));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().schedule.events.size(), minimized.events.size());
+  // scrape_resolution is deliberately not serialized: a parsed spec replays
+  // unscraped by default.
+  EXPECT_EQ(parsed.value().spec.scrape_resolution, Duration::Zero());
+}
+
+TEST(ScrapeDeterminism, ScrapedRunsAreRepeatable) {
+  ChaosRunSpec spec = SmallSpec(5, "partitions");
+  spec.scrape_resolution = Duration::Millis(10);
+  ChaosRunOutcome a = RunChaos(spec);
+  ChaosRunOutcome b = RunChaos(spec);
+  // The observability outputs themselves are deterministic too: same seed,
+  // same series, same SLO events, same flight record.
+  EXPECT_EQ(a.timeseries_json, b.timeseries_json);
+  EXPECT_EQ(a.flight_record, b.flight_record);
+  EXPECT_EQ(a.slo_breaches, b.slo_breaches);
+}
+
+}  // namespace
+}  // namespace wvote

@@ -1,0 +1,249 @@
+// Tests for the windowed SLO engine: burn-rate breach and hysteresis
+// recovery, the empty-window skip policy (full partitions with zero
+// traffic), counter-zero tripwires, p99 limits across window boundaries,
+// and gauge limits aggregated across label variants.
+
+#include "src/obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/timeseries.h"
+
+namespace wvote {
+namespace {
+
+// Pushes one window of (err, ok) into the two counter-delta series the
+// availability rule below watches.
+class AvailabilityFixture {
+ public:
+  AvailabilityFixture() : store_(16) {
+    err_ = store_.GetOrCreate("req.err", SeriesKind::kCounterDelta);
+    ok_ = store_.GetOrCreate("req.ok", SeriesKind::kCounterDelta);
+  }
+
+  static SloRule Rule(size_t window, size_t recovery_windows) {
+    SloRule r;
+    r.name = "avail";
+    r.kind = SloKind::kAvailabilityBurn;
+    r.numerator = {"req.err"};
+    r.denominator = {"req.ok"};
+    r.target = 0.999;
+    r.burn_limit = 100.0;  // breach when >10% of attempts fail
+    r.window = window;
+    r.recovery_windows = recovery_windows;
+    return r;
+  }
+
+  void Window(SloEngine* engine, double err, double ok) {
+    store_.Push(err_, err);
+    store_.Push(ok_, ok);
+    t_us_ += 10000;
+    store_.SealWindow(t_us_);
+    engine->Evaluate(TimePoint::FromMicros(t_us_), store_);
+  }
+
+  TimeSeriesStore store_;
+  TimeSeriesStore::Series* err_;
+  TimeSeriesStore::Series* ok_;
+  int64_t t_us_ = 0;
+};
+
+TEST(SloEngineTest, BurnBreachThenHysteresisRecovery) {
+  AvailabilityFixture fx;
+  SloEngine engine({AvailabilityFixture::Rule(/*window=*/1, /*recovery_windows=*/2)});
+
+  fx.Window(&engine, 0, 10);  // healthy
+  EXPECT_EQ(engine.total_breaches(), 0u);
+
+  fx.Window(&engine, 5, 5);  // 50% failures: breach
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_TRUE(engine.events()[0].breach);
+  EXPECT_EQ(engine.events()[0].rule, "avail");
+  EXPECT_DOUBLE_EQ(engine.events()[0].value, 0.5);
+  EXPECT_EQ(engine.active_breaches(), 1u);
+
+  // A second bad window does not emit a second breach event.
+  fx.Window(&engine, 5, 5);
+  EXPECT_EQ(engine.events().size(), 1u);
+  EXPECT_EQ(engine.total_breaches(), 1u);
+
+  // One healthy window is not enough (recovery_windows = 2)...
+  fx.Window(&engine, 0, 10);
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  // ...and a relapse resets the streak.
+  fx.Window(&engine, 5, 5);
+  fx.Window(&engine, 0, 10);
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  fx.Window(&engine, 0, 10);
+  ASSERT_EQ(engine.events().size(), 2u);
+  EXPECT_FALSE(engine.events()[1].breach);
+  EXPECT_EQ(engine.active_breaches(), 0u);
+  EXPECT_EQ(engine.total_breaches(), 1u);  // recoveries don't count as breaches
+}
+
+TEST(SloEngineTest, EmptyWindowsAreSkippedNotJudged) {
+  AvailabilityFixture fx;
+  SloEngine engine({AvailabilityFixture::Rule(/*window=*/1, /*recovery_windows=*/2)});
+
+  fx.Window(&engine, 5, 5);  // breach
+  EXPECT_EQ(engine.active_breaches(), 1u);
+
+  // Full partition with zero traffic in the window: no attempts to judge,
+  // so the rule neither recovers nor re-breaches — many empty windows in a
+  // row must not fake a recovery.
+  for (int i = 0; i < 5; ++i) {
+    fx.Window(&engine, 0, 0);
+  }
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  EXPECT_EQ(engine.events().size(), 1u);
+
+  // Traffic returns healthy: now the recovery streak can fill.
+  fx.Window(&engine, 0, 10);
+  fx.Window(&engine, 0, 10);
+  EXPECT_EQ(engine.active_breaches(), 0u);
+}
+
+TEST(SloEngineTest, WideWindowSumsAcrossScrapes) {
+  AvailabilityFixture fx;
+  // window = 4: the failure fraction is judged over the last four windows
+  // together, so a burst dilutes as healthy windows accumulate behind it.
+  SloEngine engine({AvailabilityFixture::Rule(/*window=*/4, /*recovery_windows=*/1)});
+
+  fx.Window(&engine, 8, 2);  // 80% in-window, 80% over tail: breach
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  fx.Window(&engine, 0, 30);  // tail: 8 err / 40 total = 20%, still breached
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  fx.Window(&engine, 0, 40);  // tail: 8 / 80 = 10%, at the 10% limit: healthy
+  EXPECT_EQ(engine.active_breaches(), 0u);
+}
+
+TEST(SloEngineTest, CounterZeroTripwire) {
+  TimeSeriesStore store(16);
+  TimeSeriesStore::Series* stale = store.GetOrCreate("stale", SeriesKind::kCounterDelta);
+  SloRule rule;
+  rule.name = "staleness-never";
+  rule.kind = SloKind::kCounterZero;
+  rule.numerator = {"stale"};
+  rule.window = 4;
+  SloEngine engine({rule});
+
+  // No sealed windows yet: skipped entirely.
+  engine.Evaluate(TimePoint::FromMicros(0), store);
+  EXPECT_TRUE(engine.events().empty());
+
+  store.Push(stale, 0);
+  store.SealWindow(10000);
+  engine.Evaluate(TimePoint::FromMicros(10000), store);
+  EXPECT_TRUE(engine.events().empty());
+
+  store.Push(stale, 1);
+  store.SealWindow(20000);
+  engine.Evaluate(TimePoint::FromMicros(20000), store);
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_TRUE(engine.events()[0].breach);
+  EXPECT_DOUBLE_EQ(engine.events()[0].value, 1.0);
+}
+
+TEST(SloEngineTest, P99LimitJudgesWorstNonEmptyWindow) {
+  TimeSeriesStore store(16);
+  TimeSeriesStore::Series* lat = store.GetOrCreate("lat", SeriesKind::kHistogram);
+  SloRule rule;
+  rule.name = "write-p99";
+  rule.kind = SloKind::kP99Limit;
+  rule.histogram = "lat";
+  rule.p99_limit_us = 50000;
+  rule.window = 2;
+  rule.recovery_windows = 1;
+  SloEngine engine({rule});
+
+  // Empty windows (count 0) carry stale zero percentiles; they must be
+  // ignored rather than read as "fast".
+  store.PushHist(lat, HistPoint{0, 0, 0, 0});
+  store.SealWindow(10000);
+  engine.Evaluate(TimePoint::FromMicros(10000), store);
+  EXPECT_TRUE(engine.events().empty());
+
+  store.PushHist(lat, HistPoint{10, 20000, 90000, 95000});
+  store.SealWindow(20000);
+  engine.Evaluate(TimePoint::FromMicros(20000), store);
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_TRUE(engine.events()[0].breach);
+  EXPECT_DOUBLE_EQ(engine.events()[0].value, 90000.0);
+
+  // The slow window ages past the 2-window tail boundary: recovery. The
+  // first fast window still shares the tail with the slow one, so the rule
+  // stays breached until the boundary is crossed.
+  store.PushHist(lat, HistPoint{10, 20000, 30000, 35000});
+  store.SealWindow(30000);
+  engine.Evaluate(TimePoint::FromMicros(30000), store);
+  EXPECT_EQ(engine.active_breaches(), 1u);
+  store.PushHist(lat, HistPoint{10, 20000, 30000, 35000});
+  store.SealWindow(40000);
+  engine.Evaluate(TimePoint::FromMicros(40000), store);
+  EXPECT_EQ(engine.active_breaches(), 0u);
+}
+
+TEST(SloEngineTest, GaugeLimitUsesMaxAcrossLabelVariants) {
+  TimeSeriesStore store(16);
+  TimeSeriesStore::Series* a = store.GetOrCreate("share{c=a}", SeriesKind::kGauge);
+  TimeSeriesStore::Series* b = store.GetOrCreate("share{c=b}", SeriesKind::kGauge);
+  SloRule rule;
+  rule.name = "probe-balance";
+  rule.kind = SloKind::kGaugeLimit;
+  rule.gauge = "share";
+  rule.gauge_limit = 0.95;
+  rule.window = 1;
+  SloEngine engine({rule});
+
+  // Shares must not be summed across clients (0.5 + 0.6 > 0.95 would be a
+  // false breach); the max across variants is what the rule judges.
+  store.Push(a, 0.5);
+  store.Push(b, 0.6);
+  store.SealWindow(10000);
+  engine.Evaluate(TimePoint::FromMicros(10000), store);
+  EXPECT_TRUE(engine.events().empty());
+
+  store.Push(a, 0.97);
+  store.Push(b, 0.1);
+  store.SealWindow(20000);
+  engine.Evaluate(TimePoint::FromMicros(20000), store);
+  ASSERT_EQ(engine.events().size(), 1u);
+  EXPECT_TRUE(engine.events()[0].breach);
+}
+
+TEST(SloEngineTest, ListenersFireOnEveryTransition) {
+  AvailabilityFixture fx;
+  SloEngine engine({AvailabilityFixture::Rule(/*window=*/1, /*recovery_windows=*/1)});
+  std::vector<bool> seen;
+  engine.AddListener([&](const SloEvent& ev) { seen.push_back(ev.breach); });
+  fx.Window(&engine, 5, 5);
+  fx.Window(&engine, 0, 10);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0]);
+  EXPECT_FALSE(seen[1]);
+}
+
+TEST(SloEngineTest, DefaultRulesStayIdleWithoutTraffic) {
+  TimeSeriesStore store(16);
+  SloEngine engine(SloEngine::DefaultRules());
+  store.SealWindow(10000);
+  engine.Evaluate(TimePoint::FromMicros(10000), store);
+  EXPECT_EQ(engine.total_breaches(), 0u);
+  EXPECT_TRUE(engine.events().empty());
+  // Summary renders every rule as idle (never evaluated).
+  EXPECT_NE(engine.Summary().find("read-availability"), std::string::npos);
+  EXPECT_NE(engine.Summary().find("idle"), std::string::npos);
+}
+
+TEST(SloEngineTest, EventsJsonRoundTripsTheTransitions) {
+  AvailabilityFixture fx;
+  SloEngine engine({AvailabilityFixture::Rule(/*window=*/1, /*recovery_windows=*/1)});
+  EXPECT_EQ(engine.EventsJson(), "[]");
+  fx.Window(&engine, 5, 5);
+  const std::string json = engine.EventsJson();
+  EXPECT_NE(json.find("{\"rule\":\"avail\",\"breach\":true,\"t_us\":10000"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace wvote
